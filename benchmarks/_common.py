@@ -1,0 +1,50 @@
+"""Shared benchmark plumbing: scales, result files, table rendering.
+
+Every bench regenerates one of the paper's tables or figures as a text
+artifact under ``benchmarks/results/`` (stdout is captured by pytest,
+files are not).  ``REPRO_BENCH_SCALE`` (default 1.0) multiplies the
+built-in dataset scales: crank it up on a beefy machine to approach the
+paper's sizes, or down for a smoke run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Global knob: multiplies each bench's built-in dataset scale.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(base: float, lo: float = 0.0, hi: float = 1.0) -> float:
+    """A bench's built-in scale, adjusted by REPRO_BENCH_SCALE and clamped."""
+    return min(hi, max(lo, base * BENCH_SCALE))
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist a table under benchmarks/results/ and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(text)
+    return path
+
+
+def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Monospace table with auto-sized columns."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Ablation: index choice and the sparse-focused principle (Sec. IV-G).
+
+Not a paper table — this quantifies two design choices DESIGN.md calls
+out: (i) which tree backs the joins (brute force vs pure-Python trees
+vs scipy cKDTree), and (ii) the sparse-focused principle that skips
+neighbor counts already known to exceed c.  Detection output must be
+identical in all configurations; only runtime moves.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _common import format_table, scaled, write_result
+from repro import McCatch
+from repro.datasets import make_http_like
+
+N = int(scaled(1.0, lo=0.1, hi=20.0) * 8_000)
+KINDS = ["ckdtree", "kdtree", "vptree", "rtree", "brute"]
+
+
+def bench_ablation_index_kind(benchmark):
+    X, _ = make_http_like(n=N, random_state=0)
+    timings: dict[str, float] = {}
+    outputs: dict[str, frozenset] = {}
+
+    def run():
+        for kind in KINDS:
+            t0 = time.perf_counter()
+            res = McCatch(index=kind).fit(X)
+            timings[kind] = time.perf_counter() - t0
+            outputs[kind] = frozenset(map(int, res.outlier_indices))
+        return timings
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    base = timings["ckdtree"]
+    rows = [[k, f"{timings[k]:.2f}s", f"{timings[k] / base:.1f}x"] for k in KINDS]
+    write_result(
+        "ablation_index",
+        format_table(["index", "runtime", "vs ckdtree"], rows,
+                     title=f"Index ablation on http-like (n={N:,})"),
+    )
+    # Box-based and ball-based diameter estimates differ, so radii may
+    # differ; but box-based kinds must agree exactly with each other.
+    assert outputs["kdtree"] == outputs["ckdtree"] == outputs["rtree"]
+
+
+def bench_ablation_sparse_focused(benchmark):
+    X, _ = make_http_like(n=N, random_state=0)
+    timings: dict[str, float] = {}
+    outputs: dict[str, frozenset] = {}
+
+    def run():
+        for label, flag in (("sparse-focused", True), ("exhaustive", False)):
+            t0 = time.perf_counter()
+            res = McCatch(sparse_focused=flag).fit(X)
+            timings[label] = time.perf_counter() - t0
+            outputs[label] = frozenset(map(int, res.outlier_indices))
+        return timings
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[k, f"{v:.2f}s"] for k, v in timings.items()]
+    write_result(
+        "ablation_sparse_focused",
+        format_table(["join strategy", "runtime"], rows,
+                     title=f"Sparse-focused principle ablation (n={N:,})"),
+    )
+    assert outputs["sparse-focused"] == outputs["exhaustive"], (
+        "the sparse-focused principle must not change the detected outliers"
+    )

@@ -1,0 +1,68 @@
+"""Extension bench: streaming McCatch vs the batch algorithm.
+
+Not a paper table — StreamingMcCatch is this repository's extension
+(DESIGN.md, *Extensions*).  Two properties are measured and asserted:
+
+1. **Exactness at refit**: after the final refit the streaming result
+   is identical to one batch run over the same data.
+2. **Amortized cost**: with geometric refits (factor 1.5) the total
+   streaming time stays within a constant factor of one batch fit —
+   the amortization argument behind keeping Lemma 1's bound.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from _common import format_table, scaled, write_result
+from repro import McCatch, StreamingMcCatch
+from repro.datasets import make_http_like
+
+N = int(scaled(1.0, lo=0.1, hi=20.0) * 8_000)
+BATCH = max(200, N // 16)
+
+
+def bench_ext_streaming_vs_batch(benchmark):
+    X, _ = make_http_like(n=N, random_state=0)
+
+    def run():
+        timings = {}
+        t0 = time.perf_counter()
+        stream = StreamingMcCatch(McCatch(), refit_factor=1.5, min_fit_size=BATCH)
+        n_refits = 0
+        for start in range(0, N, BATCH):
+            if stream.update(X[start : start + BATCH]).refitted:
+                n_refits += 1
+        final = stream.refit()
+        n_refits += 1
+        timings["streaming total"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        batch = McCatch().fit(X)
+        timings["one batch fit"] = time.perf_counter() - t0
+        return timings, n_refits, final, batch
+
+    timings, n_refits, final, batch = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        ["streaming total", f"{timings['streaming total']:.2f}s",
+         f"{n_refits} refits over {N // BATCH} batches"],
+        ["one batch fit", f"{timings['one batch fit']:.2f}s", "-"],
+        ["overhead factor",
+         f"{timings['streaming total'] / timings['one batch fit']:.1f}x", "-"],
+    ]
+    write_result(
+        "ext_streaming",
+        format_table(["configuration", "runtime", "notes"], rows,
+                     title=f"Streaming vs batch on http-like (n={N:,})"),
+    )
+
+    # Exactness at refit: identical scores and identical microclusters.
+    assert np.array_equal(final.point_scores, batch.point_scores)
+    assert len(final.microclusters) == len(batch.microclusters)
+    for a, b in zip(final.microclusters, batch.microclusters):
+        assert np.array_equal(np.sort(a.indices), np.sort(b.indices))
+    # Amortization: geometric refits cost a bounded multiple of one fit.
+    assert timings["streaming total"] < 12 * timings["one batch fit"]

@@ -1,0 +1,57 @@
+"""Fig. 3: the 'Oracle' plot on toy data.
+
+Rebuilds the paper's toy scenario (inlier blob, halo point, a
+microcluster with its own halo, an isolate point) and checks that the
+Oracle plot separates the point types as drawn: inliers bottom-left,
+the isolate far right on X, the mc members at the top on Y.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _common import format_table, write_result
+from repro import McCatch
+
+
+def _toy():
+    rng = np.random.default_rng(3)
+    inliers = rng.normal([30.0, 30.0], 4.0, size=(800, 2))
+    halo_b = np.array([[44.0, 30.0]])
+    mc = rng.normal([70.0, 75.0], 0.4, size=(9, 2))
+    halo_d = np.array([[72.5, 75.0]])
+    isolate_e = np.array([[95.0, 5.0]])
+    X = np.vstack([inliers, halo_b, mc, halo_d, isolate_e])
+    core = int(np.argmin(np.linalg.norm(inliers - [30.0, 30.0], axis=1)))
+    cast = {"A-inlier": core, "B-halo": 800, "C-mc": 801, "D-mc-halo": 810,
+            "E-isolate": 811}
+    return X, cast
+
+
+def bench_fig3_oracle_plot(benchmark):
+    X, cast = _toy()
+    result = benchmark.pedantic(lambda: McCatch().fit(X), rounds=1, iterations=1)
+    o = result.oracle
+    rows = [
+        [name, f"{o.x[i]:.4f}", f"{o.y[i]:.4f}",
+         int(o.first_end_index[i]), int(o.middle_end_index[i])]
+        for name, i in cast.items()
+    ]
+    write_result(
+        "fig3_oracle",
+        format_table(
+            ["point", "x (1NN dist)", "y (group 1NN dist)", "x rung", "y rung"],
+            rows,
+            title="Fig. 3 - 'Oracle' plot coordinates of the cast",
+        ),
+    )
+    a, b, c, d, e = (cast[k] for k in ("A-inlier", "B-halo", "C-mc", "D-mc-halo",
+                                       "E-isolate"))
+    # Inlier 'A': bottom-left (small x, no y).
+    assert o.x[a] < o.x[b] and o.y[a] == 0.0
+    # 'E': the largest 1NN distance of the cast, no middle plateau.
+    assert o.x[e] == max(o.x[i] for i in cast.values())
+    assert o.y[e] == 0.0
+    # mc members 'C' and 'D': isolated at the top (large y).
+    assert o.y[c] > 0.0 and o.y[d] > 0.0
+    assert o.y[c] >= o.y[a] and o.y[c] >= o.y[e]

@@ -1,0 +1,70 @@
+"""Fig. 9 (Q5, 'Hands-Off'): accuracy vs hyperparameters a, b, c.
+
+Paper: every line is near flat around the defaults (a=15, b=0.1,
+c=0.1n) — McCatch needs no tuning.  This bench sweeps the paper's grids
+on a spread of datasets (vector, microcluster, nondimensional) and
+asserts the flatness (bounded AUROC spread per line).
+"""
+
+from __future__ import annotations
+
+from _common import format_table, scaled, write_result
+from repro.datasets import load
+from repro.eval.sensitivity import A_GRID, B_GRID, C_FRACTION_GRID, sweep_parameter
+
+DATASETS = [
+    ("http", scaled(0.03, lo=0.01)),
+    ("mammography", scaled(0.2, lo=0.05)),
+    ("annthyroid", scaled(0.2, lo=0.05)),
+    ("wine", 1.0),
+    ("glass", 1.0),
+    ("last_names", scaled(0.15, lo=0.05)),
+    ("gaussian_isolation", scaled(0.05, lo=0.02)),
+]
+MAX_SPREAD = 0.15
+
+
+def bench_fig9_sensitivity(benchmark):
+    curves = []
+
+    def run():
+        for name, scale in DATASETS:
+            ds = load(name, scale=scale, random_state=0)
+            for parameter in ("a", "b", "c"):
+                curves.append(
+                    sweep_parameter(name, ds.data, ds.labels, parameter, metric=ds.metric)
+                )
+        return curves
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [
+            c.dataset,
+            c.parameter,
+            " ".join(f"{v:.3f}" for v in c.aurocs),
+            f"{c.spread:.3f}",
+        ]
+        for c in curves
+    ]
+    grids = {
+        "a": " ".join(map(str, A_GRID)),
+        "b": " ".join(map(str, B_GRID)),
+        "c": " ".join(f"{f}n" for f in C_FRACTION_GRID),
+    }
+    header = "\n".join(f"grid {p}: {g}" for p, g in grids.items())
+    write_result(
+        "fig9_sensitivity",
+        header
+        + "\n\n"
+        + format_table(
+            ["dataset", "param", "AUROC across grid", "spread"],
+            rows,
+            title="Fig. 9 - hyperparameter sensitivity",
+        ),
+    )
+
+    for c in curves:
+        assert c.spread <= MAX_SPREAD, (
+            f"{c.dataset}/{c.parameter}: AUROC spread {c.spread:.3f} is not flat"
+        )

@@ -1,0 +1,78 @@
+"""Table VI (Q3): runtime of the microcluster detectors on larger data.
+
+Paper (1M-point axiom data, 222K HTTP, ...): McCatch 12 min, Gen2Out
+2 h, D.MCA > 10 h — McCatch fastest in nearly all cases.  This bench
+times the three microcluster-capable methods on scaled-down versions of
+the same workloads and checks the ordering where the paper is
+unambiguous (the big axiom datasets).
+"""
+
+from __future__ import annotations
+
+import time
+
+from _common import format_table, scaled, write_result
+from repro import McCatch
+from repro.baselines import DMCA, Gen2Out
+from repro.datasets import load, make_axiom_dataset
+
+WORKLOADS = [
+    ("gauss-isolation", lambda: make_axiom_dataset(
+        "gaussian", "isolation",
+        n_inliers=int(scaled(1.0, lo=0.05, hi=50.0) * 20_000), random_state=0).X),
+    ("http-like", lambda: load("http", scale=scaled(0.1, lo=0.02), random_state=0).data),
+    ("satellite-like", lambda: load("satellite", scale=scaled(0.5, lo=0.1),
+                                    random_state=0).data),
+    ("speech-like", lambda: load("speech", scale=scaled(0.5, lo=0.1),
+                                 random_state=0).data),
+]
+
+DETECTORS = [
+    ("McCatch", lambda X: McCatch().fit(X)),
+    ("Gen2Out", lambda X: Gen2Out(random_state=0).fit(X)),
+    ("D.MCA", lambda X: DMCA(random_state=0).fit_scores(X)),
+]
+
+
+def bench_table6_runtime(benchmark):
+    timings: dict[str, dict[str, float]] = {}
+
+    def run():
+        for wname, loader in WORKLOADS:
+            X = loader()
+            timings[wname] = {"n": X.shape[0]}
+            for dname, fit in DETECTORS:
+                t0 = time.perf_counter()
+                fit(X)
+                timings[wname][dname] = time.perf_counter() - t0
+        return timings
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [
+            wname,
+            f"{int(vals['n']):,}",
+            *(f"{vals[d]:.2f}s" for d, _ in DETECTORS),
+        ]
+        for wname, vals in timings.items()
+    ]
+    write_result(
+        "table6_runtime",
+        format_table(
+            ["workload", "n", *(d for d, _ in DETECTORS)],
+            rows,
+            title="Table VI - runtime of the microcluster detectors",
+        ),
+    )
+
+    # The paper's headline ordering on the big axiom data has McCatch
+    # fastest (12 min vs 2 h for Gen2Out and > 10 h for D.MCA at 1M
+    # points).  Our Gen2Out surrogate reproduces its multi-forest cost
+    # and the ordering; our D.MCA surrogate is an O(n * psi * t) iNNE
+    # ensemble without the original's quadratic internals, so it is
+    # *faster* than the real D.MCA and only a same-ballpark check is
+    # meaningful for it (see EXPERIMENTS.md).
+    big = timings["gauss-isolation"]
+    assert big["McCatch"] < big["Gen2Out"], "McCatch should beat Gen2Out on axiom-scale data"
+    assert big["McCatch"] < 10.0 * big["D.MCA"], "McCatch should stay in D.MCA's ballpark"

@@ -1,0 +1,57 @@
+"""Head-to-head: McCatch vs the Table I inventory on a microcluster task.
+
+Reproduces the paper's motivating observation (Sec. I): outliers with
+close neighbors — microclusters — defeat most classic detectors, while
+McCatch is built for them.
+
+Run:  python examples/compare_detectors.py
+"""
+
+import time
+import warnings
+
+import numpy as np
+
+from repro import McCatch
+from repro.baselines import all_detectors
+from repro.eval import auroc
+
+warnings.filterwarnings("ignore")
+rng = np.random.default_rng(0)
+
+# 600 inliers + one 25-point microcluster + 5 one-off outliers.  (Small
+# enough that even the cubic exact-ABOD baseline finishes in seconds.)
+N_INLIERS = 600
+inliers = rng.normal(0.0, 1.0, (N_INLIERS, 2))
+microcluster = rng.normal(0.0, 0.02, (25, 2)) + [9.0, 9.0]
+singles = rng.uniform(-12, 12, (5, 2))
+singles = singles / np.linalg.norm(singles, axis=1, keepdims=True) * 11.0
+X = np.vstack([inliers, microcluster, singles])
+y = np.zeros(X.shape[0], dtype=int)
+y[N_INLIERS:] = 1
+
+print(f"{X.shape[0]} points, 25-point microcluster + 5 one-off outliers\n")
+print(f"{'method':<12} {'AUROC':>7} {'time':>8}   microcluster members caught in top-30")
+
+rows = []
+t0 = time.perf_counter()
+scores = McCatch().fit(X).point_scores
+rows.append(("McCatch", auroc(y, scores), time.perf_counter() - t0, scores))
+for det in all_detectors(random_state=0):
+    t0 = time.perf_counter()
+    try:
+        scores = det.fit_scores(X)
+    except MemoryError:  # pragma: no cover - depends on machine
+        continue
+    rows.append((det.name, auroc(y, scores), time.perf_counter() - t0, scores))
+
+mc_members = set(range(N_INLIERS, N_INLIERS + 25))
+for name, value, seconds, scores in sorted(rows, key=lambda r: -r[1]):
+    top30 = set(map(int, np.argsort(scores)[-30:]))
+    caught = len(top30 & mc_members)
+    print(f"{name:<12} {value:7.3f} {seconds:7.2f}s   {caught}/25")
+
+print("\nNeighbor-based scores (LOF, kNN-Out, ODIN with k <= 10) rate the")
+print("25-point clump as ordinary — each member has plenty of close")
+print("neighbors.  McCatch's Group 1NN Distance sees the clump as one")
+print("entity that is far from everything else.")

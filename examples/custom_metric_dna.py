@@ -1,0 +1,78 @@
+"""McCatch on DNA reads with two custom metrics (goal G1 in action).
+
+Nondimensional data needs only a distance function.  We screen a batch
+of sequencing reads for contamination: most reads come from the host
+genome (mutated copies of a reference), a handful from a contaminant
+organism.  The contaminant reads are near-identical to *each other* —
+a textbook nonsingleton microcluster — so point detectors that only
+look at 1NN distance would miss them.
+
+Two metrics are compared:
+
+- token-level edit distance (exact, quadratic per pair);
+- Jaccard distance between 3-mer profiles (linear per pair — the
+  index-friendly approximation for long reads).
+
+Run:  python examples/custom_metric_dna.py
+"""
+
+import numpy as np
+
+from repro import McCatch
+from repro.metric.sequences import sequence_edit_distance
+from repro.metric.sets import jaccard_distance, ngram_profile
+
+rng = np.random.default_rng(11)
+BASES = np.array(list("ACGT"))
+
+
+def mutate(read: str, n_edits: int) -> str:
+    chars = list(read)
+    for _ in range(n_edits):
+        pos = rng.integers(len(chars))
+        chars[pos] = str(rng.choice(BASES))
+    return "".join(chars)
+
+
+# Host reads: reference ± up to 3 point mutations.
+reference = "".join(rng.choice(BASES, size=40))
+host_reads = [mutate(reference, int(rng.integers(0, 4))) for _ in range(200)]
+
+# Contaminant: an unrelated organism, 4 near-identical reads.
+contaminant = "".join(rng.choice(BASES, size=40))
+contaminant_reads = [mutate(contaminant, 1) for _ in range(4)]
+
+reads = host_reads + contaminant_reads
+planted = set(range(200, 204))
+
+print(f"{len(reads)} reads, contaminant at indices {sorted(planted)}\n")
+
+for label, metric in (
+    ("edit distance", sequence_edit_distance),
+    ("3-mer Jaccard", lambda a, b: jaccard_distance(ngram_profile(a, 3), ngram_profile(b, 3))),
+):
+    result = McCatch(index="vptree").fit(reads, metric=metric)
+    print(f"=== {label} ===")
+    contaminant_mc = None
+    for rank, mc in enumerate(result.microclusters):
+        if planted <= set(map(int, mc.indices)):
+            contaminant_mc = (rank, mc)
+            break
+    assert contaminant_mc is not None, "contaminant reads were not gelled together"
+    rank, mc = contaminant_mc
+    print(
+        f"  contaminant cluster found: rank #{rank} of {len(result.microclusters)}, "
+        f"|M|={mc.cardinality}, score={mc.score:.1f} bits/read, "
+        f"bridge to nearest host read = {mc.bridge_length:.1f}"
+    )
+    top = result.microclusters[0]
+    print(
+        f"  (rank #0 is a one-off host read with score {top.score:.1f} — the "
+        f"Cardinality Axiom ranks a lone outlier above a 4-read cluster)"
+    )
+    print()
+
+print("Both metrics gel the 4 contaminant reads into ONE ranked microcluster —")
+print("grouping is what reveals the coalition; point detectors return 4 unrelated")
+print("alerts at best.  The 3-mer profile metric does it without quadratic-length")
+print("alignments.")

@@ -1,0 +1,78 @@
+"""Quantifying the paper's join speed-up principles (Sec. IV-G).
+
+McCatch's cost is dominated by counting neighbors; the paper lists four
+principles that keep this subquadratic.  Using
+:class:`repro.metric.CountingMetricSpace` we can measure the thing that
+actually matters — *distance evaluations* — instead of noisy
+wall-clock numbers:
+
+1. using-index principle:  VP-tree pruning vs brute-force scans;
+2. sparse-focused principle:  skip counts already known to exceed c;
+3. (for expensive metrics) LAESA pivot bounds vs any tree.
+
+Run:  python examples/join_principles.py
+"""
+
+import numpy as np
+
+from repro import McCatch
+from repro.core.oracle import build_oracle_plot
+from repro.core.radii import define_radii
+from repro.index import BruteForceIndex, LAESAIndex, VPTree
+from repro.metric import CountingMetricSpace, MetricSpace
+
+rng = np.random.default_rng(0)
+X = np.vstack([
+    rng.normal((0, 0), 0.5, (400, 2)),
+    rng.normal((20, 0), 0.5, (400, 2)),
+    rng.normal((0, 20), 0.5, (400, 2)),
+    [[40.0, 40.0], [40.1, 40.0]],
+])
+n = X.shape[0]
+print(f"dataset: {n} points in 3 well-separated clusters + a planted pair\n")
+
+
+def oracle_plot_cost(sparse_focused: bool) -> int:
+    space = CountingMetricSpace(MetricSpace(X))
+    tree = VPTree(space)
+    radii = define_radii(tree, 15)
+    build_oracle_plot(tree, radii, max_slope=0.1,
+                      max_cardinality=int(0.1 * n), sparse_focused=sparse_focused)
+    return space.counter.total
+
+
+# -- principle 1: using-index ------------------------------------------------
+radius = 2.0
+brute_space = CountingMetricSpace(MetricSpace(X))
+BruteForceIndex(brute_space).count_within(np.arange(n), radius)
+brute_calls = brute_space.counter.total
+
+vp_space = CountingMetricSpace(MetricSpace(X))
+VPTree(vp_space).count_within(np.arange(n), radius)
+vp_calls = vp_space.counter.total
+
+laesa_space = CountingMetricSpace(MetricSpace(X))
+LAESAIndex(laesa_space, n_pivots=8).count_within(np.arange(n), radius)
+laesa_calls = laesa_space.counter.total
+
+print("1. using-index principle — one range-count join, distance evaluations:")
+print(f"   brute force : {brute_calls:>12,}   (n^2 = {n * n:,})")
+print(f"   VP-tree     : {vp_calls:>12,}   ({brute_calls / vp_calls:.1f}x fewer)")
+print(f"   LAESA       : {laesa_calls:>12,}   ({brute_calls / laesa_calls:.1f}x fewer; "
+      "includes pivot-table build)")
+
+# -- principle 2: sparse-focused ----------------------------------------------
+dense = oracle_plot_cost(sparse_focused=False)
+sparse = oracle_plot_cost(sparse_focused=True)
+print("\n2. sparse-focused principle — full 'Oracle' plot build:")
+print(f"   exhaustive     : {dense:>12,} distance evaluations")
+print(f"   sparse-focused : {sparse:>12,}   ({dense / sparse:.1f}x fewer)")
+
+# -- and the output is identical either way ----------------------------------
+a = McCatch(sparse_focused=True).fit(X)
+b = McCatch(sparse_focused=False).fit(X)
+assert set(map(int, a.outlier_indices)) == set(map(int, b.outlier_indices))
+print("\n3. identical detections with and without the speed-ups (asserted) —")
+print("   the principles buy time, not accuracy; the planted pair is found:")
+pair = [m for m in a.microclusters if set(map(int, m.indices)) == {n - 2, n - 1}]
+print(f"   {pair[0] if pair else a.microclusters[0]}")

@@ -1,0 +1,48 @@
+"""Network-intrusion scenario (paper Fig. 8(ii), HTTP stand-in).
+
+222K connection records (scaled down here) described by log bytes
+sent / received and duration.  McCatch flags a tight microcluster of
+'DoS' connections — a coalition exploiting one vulnerability — plus
+scattered one-off rarities, without labels or tuning.
+
+Run:  python examples/network_intrusion.py [scale]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro import McCatch
+from repro.datasets import make_http_like
+from repro.eval import auroc, average_precision
+
+scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
+X, y = make_http_like(scale=scale, random_state=0)
+print(f"HTTP-like traffic: {X.shape[0]:,} connections, {int(y.sum())} true anomalies")
+
+t0 = time.perf_counter()
+result = McCatch().fit(X)
+elapsed = time.perf_counter() - t0
+print(f"McCatch finished in {elapsed:.1f}s "
+      f"({len(result.microclusters)} microclusters, {result.n_outliers} outlying points)")
+
+print(f"\nAUROC vs ground truth: {auroc(y, result.point_scores):.3f}")
+print(f"Average precision:     {average_precision(y, result.point_scores):.3f}")
+
+print("\nNonsingleton microclusters (coalitions):")
+for mc in result.nonsingleton():
+    members = X[mc.indices]
+    attacks = int(y[mc.indices].sum())
+    print(
+        f"  {mc.cardinality} connections, score {mc.score:.1f}: "
+        f"mean log-bytes-sent {members[:, 0].mean():.1f} "
+        f"({attacks}/{mc.cardinality} confirmed anomalies)"
+    )
+    if members[:, 0].mean() > 10:
+        print("    -> DoS signature: oversized payloads to one server")
+
+print("\nTop one-off rarities:")
+for mc in [m for m in result.microclusters if m.is_singleton][:5]:
+    i = int(mc.indices[0])
+    print(f"  conn #{i}: features {np.round(X[i], 2)}, score {mc.score:.1f}")

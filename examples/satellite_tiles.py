@@ -1,0 +1,42 @@
+"""Attention routing on satellite imagery (paper Figs. 1(i), 8(i)).
+
+Images are split into tiles; each tile's mean RGB is one 3-d point.
+McCatch finds *groups* of alike-but-unusual tiles (roof pairs, summit
+snow) and distinguishes them from scattered, mutually distinct odd
+tiles — the paper's 'attention routing' use case.
+
+Run:  python examples/satellite_tiles.py
+"""
+
+from repro import McCatch
+from repro.datasets import make_shanghai_tiles, make_volcano_tiles
+
+
+def report(city: str, tiles) -> None:
+    print(f"=== {city}: {len(tiles)} tiles ===")
+    result = McCatch().fit(tiles.rgb)
+    print(f"{len(result.microclusters)} microclusters "
+          f"({len(result.nonsingleton())} nonsingleton)")
+    for mc in result.nonsingleton():
+        rgb = tuple(int(v) for v in tiles.rgb[mc.indices].mean(axis=0))
+        cells = [f"({int(r)},{int(c)})" for r, c in tiles.positions[mc.indices]]
+        print(
+            f"  {mc.cardinality}-tile group, score {mc.score:.1f}, "
+            f"mean RGB {rgb}, at tiles {' '.join(cells)}"
+        )
+    singles = [m for m in result.microclusters if m.is_singleton][:4]
+    print("  scattered odd tiles:")
+    for mc in singles:
+        i = int(mc.indices[0])
+        r, c = (int(v) for v in tiles.positions[i])
+        rgb = tuple(int(v) for v in tiles.rgb[i])
+        print(f"    tile ({r},{c}) RGB {rgb}, score {mc.score:.1f}")
+    print()
+
+
+report("Shanghai-like urban grid", make_shanghai_tiles(random_state=0))
+report("Volcano-like cone", make_volcano_tiles(random_state=0))
+
+print("Reading the result: grouped tiles are 'alike and unusual'")
+print("(two red roofs, two blue roofs, a snow cap) while singletons are")
+print("'unusual and unlike anything else' — exactly Fig. 1(i)'s story.")

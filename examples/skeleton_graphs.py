@@ -1,0 +1,27 @@
+"""Graph data: wild-animal skeletons among human ones (paper Fig. 1(iii)).
+
+Skeleton graphs are trees; the distance is the exact Zhang-Shasha tree
+edit distance.  McCatch runs on the trees directly — no feature
+extraction, no embedding.
+
+Run:  python examples/skeleton_graphs.py
+"""
+
+from repro import McCatch
+from repro.datasets import make_skeletons
+from repro.eval import auroc
+from repro.metric.trees import tree_edit_distance
+
+trees, labels = make_skeletons(n_humans=60, n_animals=3, random_state=0)
+print(f"{len(trees)} skeleton graphs ({int(labels.sum())} wild animals planted)")
+print(f"example human skeleton:    {trees[0]}")
+print(f"example quadruped outlier: {trees[-1]}")
+
+result = McCatch().fit(trees, tree_edit_distance)
+print(f"\nAUROC: {auroc(labels, result.point_scores):.3f} "
+      f"(paper reports a perfect 1.0 on Skeletons)")
+
+print("\nRanked microclusters:")
+for rank, mc in enumerate(result.microclusters[:6]):
+    kinds = ["human" if labels[i] == 0 else "WILD ANIMAL" for i in mc.indices]
+    print(f"  #{rank}: {mc.cardinality} skeleton(s) score={mc.score:.1f} -> {kinds}")

@@ -1,0 +1,46 @@
+"""Nondimensional data: unusual last names (paper Fig. 1(ii)).
+
+McCatch needs only a distance function — no coordinates.  Here the
+dataset is a list of surnames under the Levenshtein edit distance;
+non-English names of varied origins surface as outliers.
+
+Run:  python examples/unusual_names.py
+"""
+
+from repro import McCatch
+from repro.datasets import make_last_names
+from repro.eval import auroc
+from repro.metric.strings import levenshtein
+
+names, labels = make_last_names(n_inliers=800, n_outliers=20, random_state=0)
+print(f"{len(names)} surnames ({int(labels.sum())} non-English planted)")
+
+result = McCatch().fit(names, levenshtein)
+print(f"AUROC: {auroc(labels, result.point_scores):.3f} "
+      f"(paper reports 0.75 on the real Last Names data)")
+
+order = result.point_scores.argsort()[::-1]
+print("\nMost anomalous names:")
+seen = set()
+shown = 0
+for i in order:
+    if names[i] in seen:
+        continue
+    seen.add(names[i])
+    flag = "<- non-English" if labels[i] else ""
+    print(f"  {names[i]:<22s} score={result.point_scores[i]:6.2f} {flag}")
+    shown += 1
+    if shown == 12:
+        break
+
+print("\nLeast anomalous names (the inlier core):")
+seen = set()
+shown = 0
+for i in order[::-1]:
+    if names[i] in seen:
+        continue
+    seen.add(names[i])
+    print(f"  {names[i]:<22s} score={result.point_scores[i]:6.2f}")
+    shown += 1
+    if shown == 5:
+        break

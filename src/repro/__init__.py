@@ -1,0 +1,38 @@
+"""McCatch reproduction: scalable microcluster detection.
+
+Reproduction of *McCatch: Scalable Microcluster Detection in
+Dimensional and Nondimensional Datasets* (Sánchez Vinces, Cordeiro,
+Faloutsos — ICDE 2024), including the detector, the metric-tree and
+similarity-join substrates, the 11 competitor baselines, the datasets,
+and the evaluation harness.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import McCatch
+>>> X = np.vstack([np.random.default_rng(0).normal(size=(500, 2)),
+...                [[9.0, 9.0], [9.05, 9.0]]])
+>>> result = McCatch().fit(X)
+>>> for mc in result.microclusters:
+...     print(mc)            # ranked most-strange-first
+"""
+
+from repro.core.mccatch import McCatch, detect_microclusters
+from repro.core.result import CutoffInfo, McCatchResult, Microcluster, OraclePlot
+from repro.core.streaming import StreamingMcCatch, StreamingUpdate
+from repro.metric.base import MetricSpace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "McCatch",
+    "detect_microclusters",
+    "McCatchResult",
+    "Microcluster",
+    "OraclePlot",
+    "CutoffInfo",
+    "StreamingMcCatch",
+    "StreamingUpdate",
+    "MetricSpace",
+    "__version__",
+]

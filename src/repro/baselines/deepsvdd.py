@@ -1,0 +1,90 @@
+"""Deep SVDD: deep one-class classification (Ruff et al. [26]), in NumPy.
+
+One-class Deep SVDD trains a neural network phi so that the embeddings
+of the (mostly normal) training data collapse around a center ``c``;
+the anomaly score of a point is its embedded distance to ``c``.  As in
+the original, ``c`` is fixed to the initial mean embedding, the network
+has no bias terms and no bounded activations (to prevent the trivial
+collapse phi = const), and weight decay regularizes.
+
+Table I: Deep SVDD needs explicit features (fails G1), misses
+microclusters (fails G2), and needs tuning (fails G5) — behaviours this
+implementation shares by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaseDetector
+from repro.utils.rng import check_random_state
+
+
+def _leaky_relu(z: np.ndarray, alpha: float = 0.1) -> np.ndarray:
+    return np.where(z > 0, z, alpha * z)
+
+
+class DeepSVDD(BaseDetector):
+    """One-class Deep SVDD with a small bias-free MLP encoder."""
+
+    name = "Deep SVDD"
+    deterministic = False
+
+    def __init__(
+        self,
+        hidden: tuple[int, ...] | None = None,
+        n_epochs: int = 60,
+        learning_rate: float = 1e-3,
+        weight_decay: float = 1e-4,
+        random_state=None,
+    ):
+        self.hidden = hidden
+        self.n_epochs = n_epochs
+        self.learning_rate = learning_rate
+        self.weight_decay = weight_decay
+        self.random_state = random_state
+
+    def _score(self, X: np.ndarray) -> np.ndarray:
+        rng = check_random_state(self.random_state)
+        mu, sd = X.mean(axis=0), X.std(axis=0)
+        sd[sd == 0] = 1.0
+        Z = (X - mu) / sd
+        n, d = Z.shape
+        dims = [d, *(self.hidden or (max(2, d // 2), max(2, d // 4)))]
+        weights = [
+            rng.normal(0.0, np.sqrt(2.0 / (din + dout)), size=(din, dout))
+            for din, dout in zip(dims[:-1], dims[1:])
+        ]
+        alpha = 0.1
+
+        def forward(batch: np.ndarray):
+            activations = [batch]
+            h = batch
+            last = len(weights) - 1
+            for i, w in enumerate(weights):
+                z = h @ w
+                h = z if i == last else _leaky_relu(z, alpha)
+                activations.append(h)
+            return h, activations
+
+        center = forward(Z)[0].mean(axis=0)
+        batch_size = min(128, n)
+        lr = self.learning_rate
+        for _ in range(self.n_epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, batch_size):
+                rows = order[start : start + batch_size]
+                out, acts = forward(Z[rows])
+                m = rows.size
+                delta = 2.0 * (out - center) / m
+                last = len(weights) - 1
+                for i in range(last, -1, -1):
+                    if i != last:
+                        pre_activation_positive = acts[i + 1] > 0
+                        delta = delta * np.where(pre_activation_positive, 1.0, alpha)
+                    grad = acts[i].T @ delta + self.weight_decay * weights[i]
+                    if i > 0:
+                        delta = delta @ weights[i].T
+                    weights[i] -= lr * grad
+        out, _ = forward(Z)
+        return np.linalg.norm(out - center, axis=1)

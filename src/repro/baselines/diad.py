@@ -1,0 +1,114 @@
+"""DIAD: data-efficient and interpretable tabular AD (Chang et al. [16]).
+
+DIAD scores anomalies with an *interpretable additive* model: each
+feature (and feature pair) contributes a sparsity term — how unusually
+empty the data region around the point's value is — and the total
+score is their sum, so every detection decomposes into per-feature
+contributions a person can read.
+
+Reproduction notes (documented simplification): the original fits the
+additive terms with PID-forest-style trees and semi-supervised
+fine-tuning; here each term is the negative log density of the point's
+bin in an equal-frequency histogram (1-d terms) or grid (2-d terms).
+This preserves the additive, interpretable structure and the ranking
+behaviour on tabular data.  Per Table I DIAD needs features (fails
+G1), needs tuning (fails G5), and its pairwise terms make it
+superlinear in practice (fails G4); it does explain its scores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaseDetector
+
+
+def _equal_frequency_edges(column: np.ndarray, n_bins: int) -> np.ndarray:
+    """Quantile bin edges with deduplication (ties collapse bins)."""
+    qs = np.linspace(0.0, 1.0, n_bins + 1)
+    edges = np.unique(np.quantile(column, qs))
+    if edges.size < 2:
+        edges = np.array([edges[0] - 0.5, edges[0] + 0.5])
+    return edges
+
+
+def _bin_indices(column: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    idx = np.searchsorted(edges, column, side="right") - 1
+    return np.clip(idx, 0, edges.size - 2)
+
+
+class DIAD(BaseDetector):
+    """Additive histogram-sparsity detector with per-feature explanations.
+
+    Parameters
+    ----------
+    n_bins:
+        Bins per 1-d term (equal-frequency).
+    n_pairs:
+        Number of highest-variance feature pairs to add as 2-d terms
+        (0 disables interactions and makes the model purely univariate).
+    """
+
+    name = "DIAD"
+    deterministic = True
+
+    def __init__(self, n_bins: int = 16, n_pairs: int = 4):
+        if n_bins < 2:
+            raise ValueError(f"n_bins must be >= 2, got {n_bins}")
+        if n_pairs < 0:
+            raise ValueError(f"n_pairs must be >= 0, got {n_pairs}")
+        self.n_bins = n_bins
+        self.n_pairs = n_pairs
+        self._contributions: np.ndarray | None = None
+        self._term_names: list[str] = []
+
+    def _score(self, X: np.ndarray) -> np.ndarray:
+        n, d = X.shape
+        terms: list[np.ndarray] = []
+        self._term_names = []
+
+        # 1-d sparsity terms.  With equal-frequency edges the *count*
+        # per bin is constant by construction; the anomaly signal lives
+        # in the bin *width* — the PID-style sparsity is the volume a
+        # fixed mass of data spreads over, so density = count/(n·width).
+        bin_cache = []
+        width_cache = []
+        for f in range(d):
+            edges = _equal_frequency_edges(X[:, f], self.n_bins)
+            idx = _bin_indices(X[:, f], edges)
+            widths = np.maximum(np.diff(edges), 1e-12)
+            bin_cache.append(idx)
+            width_cache.append(widths)
+            counts = np.bincount(idx, minlength=edges.size - 1).astype(np.float64)
+            density = counts[idx] / (n * widths[idx])
+            terms.append(-np.log(np.maximum(density, 1e-12)))
+            self._term_names.append(f"feature[{f}]")
+
+        # 2-d interaction terms on the most spread feature pairs; cell
+        # density = count / (n · area).
+        if d >= 2 and self.n_pairs > 0:
+            spreads = X.std(axis=0)
+            order = np.argsort(spreads)[::-1]
+            pairs = [
+                (int(order[i]), int(order[j]))
+                for i in range(min(d, 4))
+                for j in range(i + 1, min(d, 4))
+            ][: self.n_pairs]
+            for f, g in pairs:
+                key = bin_cache[f].astype(np.int64) * self.n_bins + bin_cache[g]
+                _, inverse, counts = np.unique(key, return_inverse=True, return_counts=True)
+                area = width_cache[f][bin_cache[f]] * width_cache[g][bin_cache[g]]
+                density = counts[inverse] / (n * area)
+                terms.append(-np.log(np.maximum(density, 1e-12)))
+                self._term_names.append(f"feature[{f}] x feature[{g}]")
+
+        self._contributions = np.stack(terms, axis=1)
+        return self._contributions.sum(axis=1)
+
+    def explain(self, i: int, top: int = 3) -> list[tuple[str, float]]:
+        """The ``top`` additive terms driving point ``i``'s score."""
+        if self._contributions is None:
+            raise RuntimeError("call fit_scores before explain")
+        row = self._contributions[int(i)]
+        order = np.argsort(row)[::-1][:top]
+        return [(self._term_names[int(k)], float(row[int(k)])) for k in order]

@@ -1,0 +1,85 @@
+"""Table I: the qualitative feature matrix.
+
+For every method in the repository (McCatch + the Table I inventory),
+the paper's eight property rows: the five goals G1-G5 plus
+deterministic / explainable / ranking.  Values follow the paper's
+Table I; the bench regenerating the table asserts McCatch's full row
+and spot-checks the behavioural ones (determinism, ranking) against
+the implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MethodFeatures:
+    """One Table I column."""
+
+    name: str
+    general_input: bool  # G1: works with any metric dataset
+    general_output: bool  # G2: ranks singleton + nonsingleton mcs together
+    principled: bool  # G3: obeys the group axioms
+    scalable: bool  # G4: subquadratic
+    hands_off: bool  # G5: no manual tuning
+    deterministic: bool
+    explainable: bool
+    ranks_results: bool
+
+
+#: The paper's Table I, row by row (only methods implemented here).
+TABLE1: dict[str, MethodFeatures] = {
+    f.name: f
+    for f in (
+        MethodFeatures("McCatch", True, True, True, True, True, True, True, True),
+        MethodFeatures("ABOD", False, False, False, False, True, True, False, True),
+        MethodFeatures("ALOCI", False, False, False, True, False, False, False, True),
+        MethodFeatures("DB-Out", True, False, False, False, False, True, False, True),
+        MethodFeatures("D.MCA", True, False, False, False, True, False, False, True),
+        MethodFeatures("FastABOD", False, False, False, False, True, True, False, True),
+        MethodFeatures("Gen2Out", False, True, False, True, True, False, True, True),
+        MethodFeatures("GLOSH", True, False, False, False, True, True, False, True),
+        MethodFeatures("iForest", False, False, False, True, True, False, False, True),
+        MethodFeatures("kNN-Out", True, False, False, False, False, True, False, True),
+        MethodFeatures("LDOF", True, False, False, False, False, True, False, True),
+        MethodFeatures("LOCI", True, False, False, False, True, True, True, True),
+        MethodFeatures("LOF", True, False, False, False, False, True, False, True),
+        MethodFeatures("ODIN", True, False, False, False, False, True, False, True),
+        MethodFeatures("PLDOF", False, False, False, True, False, False, False, True),
+        MethodFeatures("SCiForest", False, False, False, True, True, False, False, True),
+        MethodFeatures("Deep SVDD", False, False, False, True, False, False, False, True),
+        MethodFeatures("RDA", False, False, False, True, False, False, False, True),
+        MethodFeatures("DBSCAN", True, False, False, False, False, True, False, False),
+        MethodFeatures("KMeans--", False, False, False, True, False, False, False, True),
+        MethodFeatures("OPTICS", True, False, False, False, False, True, False, False),
+        MethodFeatures("Sparx", False, False, False, True, False, False, False, True),
+        MethodFeatures("XTreK", False, False, False, True, True, False, True, True),
+        MethodFeatures("DIAD", False, False, False, False, False, True, True, True),
+        MethodFeatures("DOIForest", False, False, False, True, False, False, False, True),
+    )
+}
+
+PROPERTY_LABELS = [
+    ("general_input", "G1 General Input"),
+    ("general_output", "G2 General Output"),
+    ("principled", "G3 Principled"),
+    ("scalable", "G4 Scalable"),
+    ("hands_off", "G5 Hands-Off"),
+    ("deterministic", "Deterministic"),
+    ("explainable", "Explainable"),
+    ("ranks_results", "Rank Results"),
+]
+
+
+def format_feature_matrix() -> str:
+    """Table I as monospace text (methods as columns, like the paper)."""
+    methods = sorted(TABLE1, key=lambda m: (m != "McCatch", m))
+    width = max(len(m) for m in methods) + 2
+    lines = [" " * 20 + "".join(m.rjust(width) for m in methods)]
+    for attr, label in PROPERTY_LABELS:
+        cells = "".join(
+            ("yes" if getattr(TABLE1[m], attr) else "-").rjust(width) for m in methods
+        )
+        lines.append(label.ljust(20) + cells)
+    return "\n".join(lines)

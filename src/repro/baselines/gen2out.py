@@ -1,0 +1,161 @@
+"""Gen2Out (Lee et al. [4]): point *and* group anomaly detection.
+
+Gen2Out is the one competitor that, like McCatch, reports microclusters
+with scores (Table I).  It builds on isolation forests: point anomalies
+are scored by extrapolated isolation depth; group anomalies are found
+by watching which points de-isolate as the subsampling rate coarsens
+("X-ray plot" / apex extraction in the original), then scored by how
+far their isolation curve sits from the expected one.
+
+Reproduction note (documented in DESIGN.md): we keep the published
+skeleton — iForest depth scoring, multi-scale subsampling ladder
+``psi = n/2^r``, grouping of co-flagged points, group scores from mean
+member depth deviation — but simplify the apex-extraction bookkeeping
+to connected components at the flagged points' neighbor distances.
+The qualitative behaviour the paper relies on (finds mcs on blob-like
+inliers, misses them on cross/arc shapes; axis-parallel splits) is
+preserved because the underlying isolation machinery is identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaseDetector, knn_distances
+from repro.baselines.iforest import IForest, average_path_length
+from repro.utils.rng import check_random_state
+
+
+class Gen2OutResult:
+    """Groups and their scores, mirroring :class:`repro.core.result`."""
+
+    def __init__(self, groups: list[np.ndarray], group_scores: np.ndarray, point_scores):
+        self.groups = groups
+        self.group_scores = np.asarray(group_scores, dtype=np.float64)
+        self.point_scores = np.asarray(point_scores, dtype=np.float64)
+
+
+class Gen2Out(BaseDetector):
+    """Gen2Out: iForest-based point scores + multi-scale group anomalies.
+
+    Parameters
+    ----------
+    n_trees:
+        Trees per forest (Table II: t in {2..128}).
+    lower_bound, upper_bound:
+        Range of the subsampling ladder exponent (Table II: lb=1,
+        ub=11, i.e. psi from n/2 down to n/2^11, clipped at 2).
+    max_depth_factor:
+        Tree height limit factor (Table II: md in {2, 3}).
+    contamination:
+        Fraction of top-scoring points considered when forming groups.
+    """
+
+    name = "Gen2Out"
+    deterministic = False
+
+    def __init__(
+        self,
+        n_trees: int = 64,
+        lower_bound: int = 1,
+        upper_bound: int = 11,
+        max_depth_factor: int = 3,
+        contamination: float = 0.02,
+        random_state=None,
+    ):
+        self.n_trees = n_trees
+        self.lower_bound = lower_bound
+        self.upper_bound = upper_bound
+        self.max_depth_factor = max_depth_factor
+        self.contamination = contamination
+        self.random_state = random_state
+
+    # -- point scores --------------------------------------------------------
+
+    def _score(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).point_scores
+
+    def fit(self, X: np.ndarray) -> Gen2OutResult:
+        """Full Gen2Out output: point scores plus scored groups."""
+        X = np.asarray(X, dtype=np.float64)
+        rng = check_random_state(self.random_state)
+        n = X.shape[0]
+
+        forest = IForest(
+            n_trees=self.n_trees, subsample=min(256, max(2, n // 2)), random_state=rng
+        )
+        point_scores = forest.fit_scores(X)
+
+        flagged_sets = self._multi_scale_flags(X, rng)
+        groups, group_scores = self._extract_groups(X, point_scores, flagged_sets)
+        return Gen2OutResult(groups, group_scores, point_scores)
+
+    # -- group anomalies ------------------------------------------------------
+
+    def _multi_scale_flags(self, X: np.ndarray, rng: np.random.Generator) -> list[np.ndarray]:
+        """Flag top scorers at each subsampling scale of the ladder."""
+        n = X.shape[0]
+        flags: list[np.ndarray] = []
+        k = max(1, int(np.ceil(self.contamination * n)))
+        for r in range(self.lower_bound, self.upper_bound + 1):
+            psi = max(2, n // (2**r))
+            if psi < 2:
+                break
+            forest = IForest(
+                n_trees=max(8, self.n_trees // 4), subsample=psi, random_state=rng
+            )
+            scores = forest.fit_scores(X)
+            flags.append(np.argsort(scores)[-k:])
+        return flags
+
+    def _extract_groups(
+        self, X: np.ndarray, point_scores: np.ndarray, flagged_sets: list[np.ndarray]
+    ) -> tuple[list[np.ndarray], np.ndarray]:
+        """Group persistently flagged points; score groups by depth deviation."""
+        n = X.shape[0]
+        votes = np.zeros(n)
+        for f in flagged_sets:
+            votes[f] += 1
+        if not flagged_sets:
+            return [], np.array([])
+        persistent = np.nonzero(votes >= max(1, len(flagged_sets) // 2))[0]
+        if persistent.size == 0:
+            return [], np.array([])
+        if persistent.size == 1:
+            groups = [persistent]
+        else:
+            # Link flagged points closer than the dataset's typical
+            # neighbor gap (median 1NN distance of all points, doubled).
+            nn_d, _ = knn_distances(X, 1)
+            link = 2.0 * float(np.median(nn_d))
+            groups = _components_by_distance(X, persistent, link)
+        c = float(average_path_length(np.array([max(2, n)]))[0])
+        group_scores = np.array(
+            [float(point_scores[g].mean()) * (1.0 + 1.0 / np.sqrt(g.size)) * c for g in groups]
+        )
+        order = np.argsort(-group_scores)
+        return [groups[i] for i in order], group_scores[order]
+
+
+def _components_by_distance(X: np.ndarray, members: np.ndarray, radius: float) -> list[np.ndarray]:
+    """Single-linkage components of ``members`` at ``radius`` (union-find)."""
+    m = members.size
+    parent = np.arange(m)
+
+    def find(u: int) -> int:
+        while parent[u] != u:
+            parent[u] = parent[parent[u]]
+            u = int(parent[u])
+        return u
+
+    pts = X[members]
+    for i in range(m):
+        d = np.linalg.norm(pts[i + 1 :] - pts[i], axis=1)
+        for off in np.nonzero(d <= radius)[0]:
+            ri, rj = find(i), find(i + 1 + off)
+            if ri != rj:
+                parent[ri] = rj
+    buckets: dict[int, list[int]] = {}
+    for i in range(m):
+        buckets.setdefault(find(i), []).append(int(members[i]))
+    return [np.array(sorted(b), dtype=np.intp) for b in buckets.values()]

@@ -1,0 +1,120 @@
+"""GLOSH: Global-Local Outlier Score from Hierarchies (Campello et al. [17]).
+
+GLOSH reads outlier scores off the HDBSCAN* density hierarchy: a point
+p attached to cluster C scores
+
+    GLOSH(p) = 1 - eps_max(C) / eps(p)
+
+where ``eps(p)`` is the mutual-reachability level at which p leaves the
+hierarchy and ``eps_max(C)`` the level at which the densest part of its
+cluster disappears.  Points deep inside a dense cluster score near 0;
+points hanging on by a long mutual-reachability edge score near 1.
+
+Built from scratch: core distances -> mutual reachability graph ->
+Prim MST -> per-point exit level -> per-component density peak.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaseDetector, knn_distances
+
+
+class GLOSH(BaseDetector):
+    """Hierarchical density outlier scores with MinPts = ``min_pts``."""
+
+    name = "GLOSH"
+
+    def __init__(self, min_pts: int = 5, min_cluster_size: int = 5):
+        if min_pts < 1:
+            raise ValueError(f"min_pts must be >= 1, got {min_pts}")
+        self.min_pts = min_pts
+        self.min_cluster_size = max(2, min_cluster_size)
+
+    def _score(self, X: np.ndarray) -> np.ndarray:
+        n = X.shape[0]
+        k = min(self.min_pts, n - 1)
+        core_d, _ = knn_distances(X, k)
+        core = core_d[:, -1]
+
+        # Mutual reachability MST via dense Prim (O(n^2), like the
+        # reference implementation's exact mode).
+        diff = X[:, None, :] - X[None, :, :]
+        dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+        mreach = np.maximum(dist, np.maximum(core[:, None], core[None, :]))
+        np.fill_diagonal(mreach, np.inf)
+
+        in_tree = np.zeros(n, dtype=bool)
+        in_tree[0] = True
+        best = mreach[0].copy()
+        edges = np.empty(n - 1, dtype=np.float64)  # weight of each added edge
+        attach: list[tuple[float, int, int]] = []
+        best_from = np.zeros(n, dtype=np.intp)
+        for step in range(n - 1):
+            cand = np.where(~in_tree, best, np.inf)
+            nxt = int(np.argmin(cand))
+            edges[step] = best[nxt]
+            attach.append((float(best[nxt]), int(best_from[nxt]), nxt))
+            in_tree[nxt] = True
+            improved = mreach[nxt] < best
+            best = np.where(improved, mreach[nxt], best)
+            best_from = np.where(improved, nxt, best_from)
+
+        # Single-linkage sweep from light to heavy edges.  A component
+        # becomes a *cluster* when it first reaches min_cluster_size; that
+        # weight is the cluster's birth level, approximating eps_max(C)
+        # (the densest level at which C exists).  A point's exit level
+        # eps(p) is the weight of the merge that attached it to a cluster:
+        # founders get eps(p) = birth (score 0), stragglers attached by a
+        # heavy mutual-reachability edge get eps(p) >> birth (score -> 1).
+        order = np.argsort([w for w, _, _ in attach])
+        parent = np.arange(n)
+        size = np.ones(n, dtype=np.intp)
+        birth = np.full(n, np.nan)  # per component root: cluster birth level
+        eps_point = np.zeros(n, dtype=np.float64)
+        cluster_birth = np.zeros(n, dtype=np.float64)  # per point, once settled
+        settled = np.zeros(n, dtype=bool)
+
+        def find(u: int) -> int:
+            while parent[u] != u:
+                parent[u] = parent[parent[u]]
+                u = int(parent[u])
+            return u
+
+        members: dict[int, list[int]] = {i: [i] for i in range(n)}
+        mcs = self.min_cluster_size
+        for idx in order:
+            w, a, b = attach[idx]
+            ra, rb = find(a), find(b)
+            if ra == rb:
+                continue
+            substantial_a = size[ra] >= mcs
+            substantial_b = size[rb] >= mcs
+            if substantial_a and substantial_b:
+                new_birth = min(birth[ra], birth[rb])
+            elif substantial_a or substantial_b:
+                new_birth = birth[ra] if substantial_a else birth[rb]
+            elif size[ra] + size[rb] >= mcs:
+                new_birth = w  # a cluster is born at this level
+            else:
+                new_birth = np.nan
+            merged = members[ra] + members[rb]
+            if not np.isnan(new_birth):
+                for p in merged:
+                    if not settled[p]:
+                        eps_point[p] = w
+                        cluster_birth[p] = new_birth
+                        settled[p] = True
+            parent[ra] = rb
+            size[rb] = size[ra] + size[rb]
+            birth[rb] = new_birth
+            members[rb] = merged
+            del members[ra]
+
+        ceiling = edges.max(initial=1.0)
+        eps_point[~settled] = ceiling
+        cluster_birth[~settled] = edges.min(initial=1.0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            score = 1.0 - cluster_birth / np.maximum(eps_point, np.finfo(np.float64).tiny)
+        return np.clip(np.nan_to_num(score), 0.0, 1.0)

@@ -1,0 +1,47 @@
+"""kNN-distance baselines: kNN-Out [19] and ODIN [22].
+
+- **kNN-Out** (Ramaswamy et al.): the anomaly score of a point is its
+  distance to its k-th nearest neighbor.
+- **ODIN** (Hautamäki et al.): build the directed kNN graph; a point's
+  outlyingness is its (low) in-degree — few other points consider it a
+  neighbor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaseDetector, knn_distances
+
+
+class KNNOut(BaseDetector):
+    """Distance to the k-th nearest neighbor (larger = more anomalous)."""
+
+    name = "kNN-Out"
+
+    def __init__(self, k: int = 5):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+
+    def _score(self, X: np.ndarray) -> np.ndarray:
+        dists, _ = knn_distances(X, min(self.k, X.shape[0] - 1))
+        return dists[:, -1]
+
+
+class ODIN(BaseDetector):
+    """kNN-graph in-degree, negated so higher = more anomalous."""
+
+    name = "ODIN"
+
+    def __init__(self, k: int = 5):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+
+    def _score(self, X: np.ndarray) -> np.ndarray:
+        n = X.shape[0]
+        _, idx = knn_distances(X, min(self.k, n - 1))
+        indegree = np.zeros(n, dtype=np.float64)
+        np.add.at(indegree, idx.ravel(), 1.0)
+        return -indegree

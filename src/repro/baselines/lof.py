@@ -1,0 +1,36 @@
+"""LOF: Local Outlier Factor (Breunig et al. [21]).
+
+Classic density-based score: the ratio of a point's neighbors' local
+reachability densities to its own.  Values near 1 are inliers; larger
+values are outliers, so LOF's native orientation already matches the
+library convention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaseDetector, knn_distances
+
+
+class LOF(BaseDetector):
+    """Local Outlier Factor with MinPts = ``k``."""
+
+    name = "LOF"
+
+    def __init__(self, k: int = 5):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+
+    def _score(self, X: np.ndarray) -> np.ndarray:
+        n = X.shape[0]
+        k = min(self.k, n - 1)
+        dists, idx = knn_distances(X, k)
+        k_distance = dists[:, -1]
+        # reach-dist_k(p, o) = max(k-distance(o), d(p, o))
+        reach = np.maximum(k_distance[idx], dists)
+        with np.errstate(divide="ignore"):
+            lrd = 1.0 / np.maximum(reach.mean(axis=1), np.finfo(np.float64).tiny)
+        # LOF(p) = mean(lrd(o) for o in kNN(p)) / lrd(p)
+        return lrd[idx].mean(axis=1) / lrd

@@ -1,0 +1,155 @@
+"""XTreK: tree-based Kendall's tau maximization (Kong et al. [25]).
+
+XTreK distills an unsupervised anomaly signal into a single shallow
+decision tree whose leaf scores are *explainable* — each anomalous
+point is described by the conjunction of axis splits on its root-leaf
+path — choosing splits that maximize Kendall's tau between the tree's
+piecewise-constant output and a reference ranking.
+
+Reproduction notes (documented simplification): the original pairs the
+tree induction with a kernel-based reference score; here the reference
+is the average distance to ``psi`` random anchor points (a standard
+distance-based anomaly proxy with the same ordering behaviour), and
+split search maximizes the *within-node separation* of reference
+scores — equivalent to greedily maximizing the tau contribution of the
+split under a piecewise-constant model.  The result keeps XTreK's
+Table I profile: scalable (G4), default hyperparameters (G5),
+explainable paths, but feature-bound (fails G1) and blind to
+microcluster grouping (fails G2/G3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaseDetector
+from repro.utils.rng import check_random_state
+
+
+class _XNode:
+    __slots__ = ("feature", "threshold", "left", "right", "value", "size")
+
+    def __init__(self):
+        self.feature: int = -1
+        self.threshold: float = 0.0
+        self.left: "_XNode | None" = None
+        self.right: "_XNode | None" = None
+        self.value: float = 0.0
+        self.size: int = 0
+
+
+class XTreK(BaseDetector):
+    """Explainable tree scorer with rank-agreement split selection.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth cap of the explanation tree (small by design — the tree
+        *is* the explanation).
+    min_leaf:
+        Minimum points per leaf.
+    psi:
+        Number of random anchors behind the reference ranking.
+    n_candidate_splits:
+        Candidate thresholds evaluated per feature at each node.
+    random_state:
+        Seed for the anchors.
+    """
+
+    name = "XTreK"
+    deterministic = False
+
+    def __init__(
+        self,
+        max_depth: int = 6,
+        min_leaf: int = 8,
+        psi: int = 64,
+        n_candidate_splits: int = 16,
+        random_state=None,
+    ):
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if min_leaf < 1:
+            raise ValueError(f"min_leaf must be >= 1, got {min_leaf}")
+        self.max_depth = max_depth
+        self.min_leaf = min_leaf
+        self.psi = psi
+        self.n_candidate_splits = n_candidate_splits
+        self.random_state = random_state
+        self._root: _XNode | None = None
+
+    # -- fitting -----------------------------------------------------------
+
+    def _reference_scores(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Distance-based proxy ranking: mean distance to random anchors."""
+        psi = min(self.psi, X.shape[0])
+        anchors = X[rng.choice(X.shape[0], size=psi, replace=False)]
+        # (n, psi) distances without building an (n, psi, d) intermediate.
+        sq = (
+            np.einsum("ij,ij->i", X, X)[:, None]
+            + np.einsum("ij,ij->i", anchors, anchors)[None, :]
+            - 2.0 * (X @ anchors.T)
+        )
+        np.maximum(sq, 0.0, out=sq)
+        return np.sqrt(sq).mean(axis=1)
+
+    def _grow(self, X: np.ndarray, ref: np.ndarray, depth: int) -> _XNode:
+        node = _XNode()
+        node.size = X.shape[0]
+        node.value = float(ref.mean())
+        if depth >= self.max_depth or X.shape[0] < 2 * self.min_leaf or np.ptp(ref) == 0:
+            return node
+        best_gain, best = 0.0, None
+        for f in range(X.shape[1]):
+            column = X[:, f]
+            qs = np.linspace(0.05, 0.95, self.n_candidate_splits)
+            for threshold in np.unique(np.quantile(column, qs)):
+                mask = column <= threshold
+                n_left = int(mask.sum())
+                if n_left < self.min_leaf or X.shape[0] - n_left < self.min_leaf:
+                    continue
+                mu_l, mu_r = ref[mask].mean(), ref[~mask].mean()
+                # Between-group separation — the concordant-pair mass a
+                # piecewise-constant model can claim from this split.
+                gain = n_left * (X.shape[0] - n_left) * abs(mu_l - mu_r)
+                if gain > best_gain:
+                    best_gain, best = gain, (f, float(threshold), mask)
+        if best is None:
+            return node
+        node.feature, node.threshold, mask = best
+        node.left = self._grow(X[mask], ref[mask], depth + 1)
+        node.right = self._grow(X[~mask], ref[~mask], depth + 1)
+        return node
+
+    def _score(self, X: np.ndarray) -> np.ndarray:
+        rng = check_random_state(self.random_state)
+        ref = self._reference_scores(X, rng)
+        self._root = self._grow(X, ref, depth=0)
+        return self._evaluate(X)
+
+    # -- evaluation / explanation -------------------------------------------
+
+    def _evaluate(self, X: np.ndarray) -> np.ndarray:
+        out = np.empty(X.shape[0])
+        for i, row in enumerate(X):
+            node = self._root
+            while node.left is not None:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value
+        return out
+
+    def explain(self, x) -> list[str]:
+        """Root-leaf split path for one point — XTreK's explanation."""
+        if self._root is None:
+            raise RuntimeError("call fit_scores before explain")
+        x = np.asarray(x, dtype=np.float64).ravel()
+        node, path = self._root, []
+        while node.left is not None:
+            if x[node.feature] <= node.threshold:
+                path.append(f"feature[{node.feature}] <= {node.threshold:.4g}")
+                node = node.left
+            else:
+                path.append(f"feature[{node.feature}] > {node.threshold:.4g}")
+                node = node.right
+        path.append(f"leaf score = {node.value:.4g} (n={node.size})")
+        return path

@@ -1,0 +1,228 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``detect``
+    Run McCatch on a CSV/TSV of vectors (or a text file of strings with
+    ``--metric levenshtein``) and print the ranked microclusters.
+``report``
+    Run McCatch and write a self-contained HTML report (plus optional
+    JSON archive and Markdown table).
+``stream``
+    Replay a CSV through StreamingMcCatch in batches and print a
+    per-batch alert log.
+``datasets``
+    List the built-in dataset generators and their Table III metadata.
+``demo``
+    Run McCatch on a built-in dataset by name and report quality.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro import McCatch, StreamingMcCatch, __version__
+from repro.datasets import BENCHMARK_SPECS, dataset_names, load
+from repro.eval import auroc
+from repro.metric.strings import levenshtein
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="McCatch: scalable microcluster detection (ICDE 2024 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    detect = sub.add_parser("detect", help="run McCatch on a data file")
+    detect.add_argument("path", help="CSV/TSV of numbers, or text file of strings")
+    detect.add_argument("--metric", default="euclidean",
+                        choices=["euclidean", "manhattan", "chebyshev", "levenshtein"],
+                        help="distance function (levenshtein implies string data)")
+    detect.add_argument("--delimiter", default=",", help="CSV delimiter (default ',')")
+    detect.add_argument("--n-radii", type=int, default=15, help="hyperparameter a")
+    detect.add_argument("--max-slope", type=float, default=0.1, help="hyperparameter b")
+    detect.add_argument("--max-cardinality-fraction", type=float, default=0.1,
+                        help="hyperparameter c as a fraction of n")
+    detect.add_argument("--index", default="auto",
+                        help="index kind backing the joins (default auto)")
+    detect.add_argument("--top", type=int, default=20, help="rows of ranking to print")
+    detect.add_argument("--save-json", metavar="PATH",
+                        help="archive the full result as JSON")
+
+    report = sub.add_parser("report", help="run McCatch and write an HTML report")
+    report.add_argument("path", help="CSV/TSV of numbers, or text file of strings")
+    report.add_argument("--metric", default="euclidean",
+                        choices=["euclidean", "manhattan", "chebyshev", "levenshtein"])
+    report.add_argument("--delimiter", default=",", help="CSV delimiter (default ',')")
+    report.add_argument("-o", "--output", default="mccatch_report.html",
+                        help="HTML output path (default mccatch_report.html)")
+    report.add_argument("--title", default="McCatch report")
+    report.add_argument("--save-json", metavar="PATH",
+                        help="also archive the result as JSON")
+    report.add_argument("--save-markdown", metavar="PATH",
+                        help="also write the ranking as a Markdown table")
+
+    stream = sub.add_parser("stream", help="replay a CSV through StreamingMcCatch")
+    stream.add_argument("path", help="CSV/TSV of numbers (rows replayed in order)")
+    stream.add_argument("--delimiter", default=",", help="CSV delimiter (default ',')")
+    stream.add_argument("--batch", type=int, default=500, help="batch size (default 500)")
+    stream.add_argument("--refit-factor", type=float, default=1.5,
+                        help="refit when the window grew by this factor")
+    stream.add_argument("--max-window", type=int, default=None,
+                        help="sliding-window size (default: keep everything)")
+
+    sub.add_parser("datasets", help="list the built-in dataset generators")
+
+    demo = sub.add_parser("demo", help="run McCatch on a built-in dataset")
+    demo.add_argument("name", help="dataset name (see `repro datasets`)")
+    demo.add_argument("--scale", type=float, default=0.1,
+                      help="fraction of the paper's dataset size (default 0.1)")
+    demo.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _load_input(path: str, metric: str, delimiter: str):
+    if metric == "levenshtein":
+        with open(path) as f:
+            items = [line.strip() for line in f if line.strip()]
+        if not items:
+            raise SystemExit(f"error: {path} contains no strings")
+        return items, levenshtein
+    try:
+        X = np.loadtxt(path, delimiter=delimiter, ndmin=2)
+    except ValueError as exc:
+        raise SystemExit(
+            f"error: could not parse {path} as numeric {delimiter!r}-separated data "
+            f"({exc}); for string data pass --metric levenshtein"
+        ) from exc
+    return X, metric
+
+
+def _fit(data, metric, detector: McCatch):
+    if callable(metric):
+        return detector.fit(data, metric)
+    return detector.fit(np.asarray(data), metric if metric != "euclidean" else None)
+
+
+def _cmd_detect(args) -> int:
+    data, metric = _load_input(args.path, args.metric, args.delimiter)
+    detector = McCatch(
+        n_radii=args.n_radii,
+        max_slope=args.max_slope,
+        max_cardinality_fraction=args.max_cardinality_fraction,
+        index=args.index,
+    )
+    t0 = time.perf_counter()
+    result = _fit(data, metric, detector)
+    elapsed = time.perf_counter() - t0
+    print(f"n={result.n}  microclusters={len(result.microclusters)}  "
+          f"outlying points={result.n_outliers}  ({elapsed:.2f}s)")
+    print()
+    print(f"{'rank':>4}  {'size':>5}  {'score':>9}  {'bridge':>10}  members")
+    for rank, mc in enumerate(result.microclusters[: args.top]):
+        members = ", ".join(map(str, mc.indices[:8]))
+        if mc.cardinality > 8:
+            members += ", ..."
+        print(f"{rank:>4}  {mc.cardinality:>5}  {mc.score:>9.2f}  "
+              f"{mc.bridge_length:>10.4g}  [{members}]")
+    if args.save_json:
+        from repro.io import save_result_json
+
+        print(f"\nresult archived to {save_result_json(result, args.save_json)}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.io import result_to_markdown, save_result_json
+    from repro.viz import write_report
+
+    data, metric = _load_input(args.path, args.metric, args.delimiter)
+    result = _fit(data, metric, McCatch())
+    points = None if callable(metric) else np.asarray(data)
+    out = write_report(result, args.output, points, title=args.title)
+    print(f"n={result.n}  microclusters={len(result.microclusters)}")
+    print(f"HTML report: {out}")
+    if args.save_json:
+        print(f"JSON archive: {save_result_json(result, args.save_json)}")
+    if args.save_markdown:
+        from pathlib import Path
+
+        Path(args.save_markdown).write_text(result_to_markdown(result), encoding="utf-8")
+        print(f"Markdown: {args.save_markdown}")
+    return 0
+
+
+def _cmd_stream(args) -> int:
+    if args.batch < 1:
+        raise SystemExit("error: --batch must be >= 1")
+    data, _ = _load_input(args.path, "euclidean", args.delimiter)
+    X = np.asarray(data)
+    stream = StreamingMcCatch(
+        McCatch(),
+        refit_factor=args.refit_factor,
+        min_fit_size=max(32, args.batch),
+        max_window=args.max_window,
+    )
+    total_flagged = 0
+    for start in range(0, X.shape[0], args.batch):
+        update = stream.update(X[start : start + args.batch])
+        total_flagged += update.provisional_outliers.size
+        mode = "refit" if update.refitted else "score"
+        print(f"[{mode}] rows {start:>7}..{start + update.n_new - 1:<7} "
+              f"flagged={update.provisional_outliers.size:<4} window={len(stream)}")
+    result = stream.refit()
+    print()
+    print(result.summary())
+    print(f"\nflagged during replay: {total_flagged}; "
+          f"outlying at final refit: {result.n_outliers}")
+    return 0
+
+
+def _cmd_datasets(_args) -> int:
+    print(f"{'name':<22}{'kind':<10}{'paper n':>10}  notes")
+    for name in dataset_names():
+        if name in BENCHMARK_SPECS:
+            spec = BENCHMARK_SPECS[name]
+            note = f"{spec.dim}-d, {spec.outlier_pct}% outliers"
+            if spec.microclusters:
+                note += f", planted mcs {spec.microclusters}"
+            print(f"{name:<22}{'vector':<10}{spec.n:>10,}  {note}")
+        else:
+            kind = "metric" if name in ("last_names", "fingerprints", "skeletons") else "vector"
+            print(f"{name:<22}{kind:<10}{'-':>10}")
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    ds = load(args.name, scale=args.scale, random_state=args.seed)
+    t0 = time.perf_counter()
+    result = McCatch().fit(ds.data, ds.metric)
+    elapsed = time.perf_counter() - t0
+    print(f"{args.name}: n={ds.n}  ({elapsed:.2f}s)")
+    if ds.labels is not None:
+        print(f"AUROC vs ground truth: {auroc(ds.labels, result.point_scores):.3f}")
+    print(result.summary())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "detect": _cmd_detect,
+        "report": _cmd_report,
+        "stream": _cmd_stream,
+        "datasets": _cmd_datasets,
+        "demo": _cmd_demo,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

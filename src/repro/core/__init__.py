@@ -1,0 +1,46 @@
+"""McCatch core: Algorithms 1-4 and Definitions 1-7 of the paper."""
+
+from repro.core.cutoff import compute_cutoff, histogram_of_1nn_distances, outlier_mask
+from repro.core.gel import connected_components, spot_microclusters
+from repro.core.mccatch import McCatch, detect_microclusters
+from repro.core.mdl import best_split, cost_of_compression, universal_code_length
+from repro.core.oracle import build_oracle_plot
+from repro.core.plateaus import Plateau, analyze_counts, find_plateaus
+from repro.core.radii import define_radii, radius_ladder
+from repro.core.result import CutoffInfo, McCatchResult, Microcluster, OraclePlot
+from repro.core.scoring import (
+    microcluster_score,
+    nearest_inlier_distances,
+    point_score,
+    score_microclusters,
+)
+from repro.core.streaming import StreamingMcCatch, StreamingUpdate
+
+__all__ = [
+    "StreamingMcCatch",
+    "StreamingUpdate",
+    "McCatch",
+    "detect_microclusters",
+    "McCatchResult",
+    "Microcluster",
+    "OraclePlot",
+    "CutoffInfo",
+    "Plateau",
+    "build_oracle_plot",
+    "analyze_counts",
+    "find_plateaus",
+    "compute_cutoff",
+    "histogram_of_1nn_distances",
+    "outlier_mask",
+    "spot_microclusters",
+    "connected_components",
+    "score_microclusters",
+    "microcluster_score",
+    "nearest_inlier_distances",
+    "point_score",
+    "radius_ladder",
+    "define_radii",
+    "universal_code_length",
+    "cost_of_compression",
+    "best_split",
+]

@@ -1,0 +1,89 @@
+"""Definitions 4-6: the data-driven Cutoff ``d``.
+
+The Histogram of 1NN Distances puts each point in the bin of the radius
+its first plateau ends at (x_i ≈ r_e', footnote 1).  The Cutoff is the
+radius whose cut position best separates the tall bins (inliers +
+mc-core points) from the short bins (outliers), judged by the MDL
+two-part compression cost of Def. 5 — no user parameter anywhere.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.mdl import best_split
+from repro.core.result import CutoffInfo
+
+
+def histogram_of_1nn_distances(first_end_index: np.ndarray, n_radii: int) -> np.ndarray:
+    """Def. 4: bin counts ``h_e = |{p_i : x_i == r_e}|``.
+
+    Points whose first plateau was not uncovered (index -1) fall in no
+    bin — they have close neighbors below the smallest radius and could
+    never sit on the outlier side of the cut anyway.
+    """
+    hist = np.zeros(n_radii, dtype=np.int64)
+    valid = first_end_index[first_end_index >= 0]
+    np.add.at(hist, valid, 1)
+    return hist
+
+
+def compute_cutoff(first_end_index: np.ndarray, radii: np.ndarray) -> CutoffInfo:
+    """Defs. 4-6: build the histogram, find the MDL-optimal cut, return d.
+
+    Returns a :class:`CutoffInfo` whose ``value`` is ``radii[index]``.
+    Degenerate data (empty histogram, or the modal bin is the last one,
+    leaving nothing to split) yield ``value = inf`` — no point is an
+    outlier by the X axis, matching the "no structure" reading.
+    """
+    radii = np.asarray(radii, dtype=np.float64)
+    a = radii.size
+    hist = histogram_of_1nn_distances(np.asarray(first_end_index), a)
+    if hist.sum() == 0:
+        return CutoffInfo(math.inf, -1, hist, -1, math.nan)
+    peak = int(np.argmax(hist))  # the mode of {x_1 ... x_n}
+    # The search runs over the histogram's support only: bins beyond the
+    # largest observed 1NN distance are empty by construction, and a cut
+    # placed there "separates" the data from nothing (the all-zero right
+    # partition compresses to ~0 bits and would swallow every real cut).
+    last = int(np.nonzero(hist)[0][-1])
+    if last - peak < 1:
+        # No bins after the mode (common for duplicate-heavy metric data,
+        # where only a handful of points ever uncover a first plateau):
+        # nothing to split, so d sits one rung above the mode — any 1NN
+        # or Group-1NN distance beyond the modal rung is outlying.
+        if peak + 1 >= a:
+            return CutoffInfo(math.inf, -1, hist, peak, math.nan)
+        return CutoffInfo(float(radii[peak + 1]), peak + 1, hist, peak, math.nan)
+    cut, cost = best_split(hist[: last + 1], start=peak)
+    return CutoffInfo(float(radii[cut]), cut, hist, peak, cost)
+
+
+def x_outlier_mask(oracle, cutoff: CutoffInfo) -> np.ndarray:
+    """``x_i >= d`` via plateau-end rungs (Def. 4's x_i == r_e reading)."""
+    if cutoff.index < 0:
+        return np.zeros(len(oracle), dtype=bool)
+    return np.asarray(oracle.first_end_index) >= cutoff.index
+
+
+def y_outlier_mask(oracle, cutoff: CutoffInfo) -> np.ndarray:
+    """``y_i >= d`` via plateau-end rungs (footnote 2's reading).
+
+    Both axes identify a plateau with its end radius — exactly the
+    approximation footnotes 1-2 make ("x_i / y_i is approximately the
+    distance ...") and the one Def. 4 already uses to bin x.  Comparing
+    raw plateau *lengths* against ``d`` would be strictly narrower: a
+    middle plateau ending at the cutoff rung has length < d by
+    construction, which silently loses the borderline microclusters
+    whenever the dataset is small enough for the cut to land near them.
+    """
+    if cutoff.index < 0:
+        return np.zeros(len(oracle), dtype=bool)
+    return np.asarray(oracle.middle_end_index) >= cutoff.index
+
+
+def outlier_mask(oracle, cutoff: CutoffInfo) -> np.ndarray:
+    """Alg. 3 line 7: ``A = {p_i : x_i >= d or y_i >= d}``."""
+    return x_outlier_mask(oracle, cutoff) | y_outlier_mask(oracle, cutoff)

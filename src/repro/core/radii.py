@@ -1,0 +1,38 @@
+"""Step I of Alg. 1: the neighborhood radius ladder.
+
+Given the dataset diameter estimate ``l`` (from the tree, Alg. 1
+line 2) and the Number of Radii ``a``, the ladder is
+
+    R = { l/2^(a-1), l/2^(a-2), ..., l/2^0 }
+
+— geometric with ratio 2, ending exactly at ``l``.  Constant log-radius
+spacing is what makes the plateau slope of Def. 1 a simple difference
+of log-counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.index.base import MetricIndex
+
+
+def radius_ladder(diameter: float, n_radii: int) -> np.ndarray:
+    """The set R of Alg. 1 line 3 (increasing, ``radii[-1] == diameter``)."""
+    if n_radii < 2:
+        raise ValueError(f"Number of Radii a must be >= 2, got {n_radii}")
+    if diameter <= 0:
+        raise ValueError(f"diameter must be positive, got {diameter}")
+    exponents = np.arange(n_radii - 1, -1, -1, dtype=np.float64)
+    return diameter / np.power(2.0, exponents)
+
+
+def define_radii(index: MetricIndex, n_radii: int) -> np.ndarray:
+    """Alg. 1 lines 2-3: estimate the diameter from the tree, build R."""
+    diameter = index.diameter_estimate()
+    if diameter <= 0:
+        raise ValueError(
+            "estimated dataset diameter is zero: all elements coincide, "
+            "so no microcluster structure exists"
+        )
+    return radius_ladder(diameter, n_radii)

@@ -1,0 +1,155 @@
+"""Algorithm 4: SCOREMCS — compression-based anomaly scores (Def. 7).
+
+A microcluster is scored by the bits-per-member cost of describing it
+in terms of its nearest inlier: cardinality + inlier id + bridge +
+member-to-member hops.  The construction makes the Isolation and
+Cardinality axioms of Sec. III hold by design: a longer bridge raises
+the cost, and a larger cardinality dilutes the fixed costs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.mdl import universal_code_length
+from repro.core.result import Microcluster, OraclePlot
+from repro.index.factory import build_index
+from repro.index.joins import join_counts
+from repro.metric.base import MetricSpace
+
+
+def nearest_inlier_distances(
+    space: MetricSpace,
+    outliers: np.ndarray,
+    oracle: OraclePlot,
+    *,
+    index_kind: str = "auto",
+) -> np.ndarray:
+    """Per-point distance g_i to the nearest inlier (Alg. 4 lines 1-15).
+
+    For each outlier: the largest radius at which it still has zero
+    inlier neighbors (0 if it has an inlier within the smallest radius;
+    the top radius if it has none at all — e.g. when every point is an
+    outlier).  For each inlier: its own 1NN Distance x_i.
+    """
+    n = len(space)
+    radii = oracle.radii
+    g = np.array(oracle.x, dtype=np.float64)  # inliers: g_i = x_i
+    if outliers.size == 0:
+        return g
+
+    inlier_mask = np.ones(n, dtype=bool)
+    inlier_mask[outliers] = False
+    inlier_ids = np.nonzero(inlier_mask)[0]
+    if inlier_ids.size == 0:
+        g[outliers] = radii[-1]
+        return g
+
+    inlier_tree = build_index(space, inlier_ids, kind=index_kind)
+    remaining = outliers.copy()
+    g[remaining] = radii[-1]  # default: no inlier neighbor within l
+    for e, radius in enumerate(radii):
+        if remaining.size == 0:
+            break
+        f = join_counts(inlier_tree, remaining, float(radius))
+        found = f > 0
+        if found.any():
+            # First radius with an inlier neighbor: g is one rung below.
+            g[remaining[found]] = radii[e - 1] if e > 0 else 0.0
+            remaining = remaining[~found]
+    return g
+
+
+def _ceil_ratio(value: float, r1: float) -> int:
+    """⌈value / r1⌉ with near-integer snapping.
+
+    Distances produced by the algorithm (plateau lengths, bridge rungs)
+    are exact multiples of r1 by construction; float division turns
+    those exact integers into integer ± ulp, and a raw ceil would flip
+    by one depending on rounding direction.  Snapping within a relative
+    1e-9 keeps scores deterministic under rigid motions of the data.
+    """
+    ratio = value / r1
+    nearest = round(ratio)
+    if abs(ratio - nearest) <= 1e-9 * max(1.0, abs(nearest)):
+        return int(nearest)
+    return math.ceil(ratio)
+
+
+def microcluster_score(
+    cardinality: int,
+    n: int,
+    bridge_length: float,
+    mean_1nn: float,
+    r1: float,
+    transformation_cost: float,
+) -> float:
+    """Def. 7: the bits-per-member description cost of one microcluster."""
+    if cardinality < 1:
+        raise ValueError("microcluster cardinality must be >= 1")
+    if r1 <= 0:
+        raise ValueError("r1 must be positive")
+    item1 = universal_code_length(cardinality)  # ① cardinality
+    item2 = universal_code_length(n)  # ② nearest-inlier id (worst case)
+    item3 = transformation_cost * universal_code_length(_ceil_ratio(bridge_length, r1))  # ③
+    item4 = transformation_cost * universal_code_length(1 + _ceil_ratio(mean_1nn, r1))  # ④
+    return (item1 + item2 + item3 + (cardinality - 1) * item4) / cardinality
+
+
+def point_score(g_i: float, r1: float) -> float:
+    """Alg. 4 line 22: per-point score w_i = ⟨1 + ⌈g_i / r_1⌉⟩."""
+    return universal_code_length(1 + _ceil_ratio(g_i, r1))
+
+
+def score_microclusters(
+    space: MetricSpace,
+    clusters: list[np.ndarray],
+    oracle: OraclePlot,
+    *,
+    transformation_cost: float,
+    index_kind: str = "auto",
+) -> tuple[list[Microcluster], np.ndarray]:
+    """Alg. 4: scores per microcluster (ranked) and per point.
+
+    Returns
+    -------
+    microclusters:
+        :class:`Microcluster` records sorted most-strange-first
+        (descending score; ties broken towards smaller cardinality,
+        then longer bridge, for determinism).
+    point_scores:
+        Array W of per-point scores, higher = more anomalous.
+    """
+    n = len(space)
+    radii = oracle.radii
+    r1 = float(radii[0])
+    outliers = (
+        np.sort(np.concatenate(clusters))
+        if clusters
+        else np.array([], dtype=np.intp)
+    )
+    g = nearest_inlier_distances(space, outliers, oracle, index_kind=index_kind)
+
+    microclusters: list[Microcluster] = []
+    for members in clusters:
+        bridge = float(g[members].min())
+        mean_1nn = float(oracle.x[members].mean())
+        score = microcluster_score(
+            members.size, n, bridge, mean_1nn, r1, transformation_cost
+        )
+        microclusters.append(
+            Microcluster(
+                indices=members,
+                score=score,
+                bridge_length=bridge,
+                mean_1nn_distance=mean_1nn,
+            )
+        )
+    microclusters.sort(
+        key=lambda m: (-m.score, m.cardinality, -m.bridge_length, int(m.indices[0]))
+    )
+
+    point_scores = np.array([point_score(float(gi), r1) for gi in g], dtype=np.float64)
+    return microclusters, point_scores

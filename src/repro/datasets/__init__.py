@@ -1,0 +1,80 @@
+"""Datasets: generators for every Table III dataset (or its stand-in).
+
+Real datasets unavailable offline are replaced by synthetic stand-ins
+matched to Table III's cardinality / dimensionality / outlier fraction
+and the paper's planted-structure stories; see DESIGN.md,
+*Substitutions*, for the full mapping.
+"""
+
+from repro.datasets.axioms import AXIOMS, SHAPES, AxiomDataset, make_axiom_dataset
+from repro.datasets.benchmarks import (
+    BENCHMARK_SPECS,
+    MICROCLUSTER_DATASETS,
+    make_benchmark_like,
+    make_http_like,
+)
+from repro.datasets.imagery import TileDataset, make_shanghai_tiles, make_volcano_tiles
+from repro.datasets.names import NON_ENGLISH_SURNAMES, US_SURNAMES, make_last_names
+from repro.datasets.registry import (
+    AXIOM_NAMES,
+    BENCHMARK_NAMES,
+    METRIC_NAMES,
+    SATELLITE_NAMES,
+    SYNTH_NAMES,
+    LoadedDataset,
+    dataset_names,
+    load,
+)
+from repro.datasets.shapes import (
+    make_fingerprints,
+    make_human_skeleton,
+    make_quadruped_skeleton,
+    make_skeletons,
+)
+from repro.datasets.streams import burst_stream, regime_shift_stream, trickle_stream
+from repro.datasets.synthetic import (
+    diagonal_line,
+    gaussian_blobs,
+    labeled_outlier_dataset,
+    plant_microcluster,
+    plant_singletons,
+    uniform_cube,
+)
+
+__all__ = [
+    "load",
+    "dataset_names",
+    "burst_stream",
+    "regime_shift_stream",
+    "trickle_stream",
+    "LoadedDataset",
+    "BENCHMARK_NAMES",
+    "METRIC_NAMES",
+    "AXIOM_NAMES",
+    "SATELLITE_NAMES",
+    "SYNTH_NAMES",
+    "BENCHMARK_SPECS",
+    "MICROCLUSTER_DATASETS",
+    "make_benchmark_like",
+    "make_http_like",
+    "make_axiom_dataset",
+    "AxiomDataset",
+    "AXIOMS",
+    "SHAPES",
+    "make_last_names",
+    "US_SURNAMES",
+    "NON_ENGLISH_SURNAMES",
+    "make_skeletons",
+    "make_human_skeleton",
+    "make_quadruped_skeleton",
+    "make_fingerprints",
+    "make_shanghai_tiles",
+    "make_volcano_tiles",
+    "TileDataset",
+    "uniform_cube",
+    "diagonal_line",
+    "gaussian_blobs",
+    "plant_microcluster",
+    "plant_singletons",
+    "labeled_outlier_dataset",
+]

@@ -1,0 +1,114 @@
+"""Satellite-tile stand-ins: Shanghai and Volcanoes (Figs. 1(i) and 8(i)).
+
+The paper splits a satellite image into rectangular tiles and keeps
+each tile's average RGB — a 3-d vector dataset.  Our procedural
+stand-ins reproduce the planted stories:
+
+- **Shanghai**: urban texture (correlated grey-brown tiles) with two
+  2-tile microclusters of unusually colored roofs (one red pair, one
+  blue pair) and a few mutually-distinct outlier tiles (yellow).
+- **Volcanoes**: a radial volcano cone (dark rock rim, vegetated
+  foothills) with a 3-tile snow microcluster at the summit and a few
+  scattered odd tiles.
+
+Both return tile-center coordinates too, so examples can report *where*
+the detected tiles sit in the image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import check_random_state
+
+
+@dataclass(frozen=True)
+class TileDataset:
+    """A tiled image: mean-RGB features + grid positions + planted labels.
+
+    ``labels``: 0 normal tile, 1 scattered odd tile, 2+ one id per
+    planted microcluster.
+    """
+
+    rgb: np.ndarray  # (n, 3) in [0, 255]
+    positions: np.ndarray  # (n, 2) tile-center (row, col)
+    labels: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.rgb.shape[0])
+
+
+def make_shanghai_tiles(grid: int = 36, random_state=None) -> TileDataset:
+    """Shanghai-like urban grid (default 36x36 = 1296 tiles, as Table III).
+
+    Plants two 2-tile roof microclusters (red, blue) and 4 scattered
+    distinct outliers (yellow-ish but mutually far apart).
+    """
+    rng = check_random_state(random_state)
+    n = grid * grid
+    rows, cols = np.divmod(np.arange(n), grid)
+    positions = np.column_stack([rows, cols]).astype(np.float64)
+
+    # Urban texture: grey-brown with smooth spatial variation.
+    base = 110.0 + 18.0 * np.sin(rows / 5.0) + 14.0 * np.cos(cols / 7.0)
+    rgb = np.column_stack([base + 8.0, base, base - 10.0])
+    rgb += rng.normal(0.0, 7.0, size=rgb.shape)
+
+    labels = np.zeros(n, dtype=np.intp)
+    flat = lambda r, c: r * grid + c  # noqa: E731 - tiny index helper
+
+    red_pair = [flat(5, 7), flat(5, 8)]  # adjacent unusually red roofs
+    for i in red_pair:
+        rgb[i] = [214.0, 40.0, 38.0] + rng.normal(0.0, 2.0, 3)
+        labels[i] = 2
+    blue_pair = [flat(25, 30), flat(26, 30)]
+    for i in blue_pair:
+        rgb[i] = [36.0, 88.0, 210.0] + rng.normal(0.0, 2.0, 3)
+        labels[i] = 3
+    scattered = [flat(2, 30), flat(18, 3), flat(30, 12), flat(33, 33)]
+    hues = [[230, 220, 60], [20, 160, 90], [240, 150, 20], [180, 30, 150]]
+    for i, hue in zip(scattered, hues):
+        rgb[i] = np.array(hue, dtype=np.float64) + rng.normal(0.0, 2.0, 3)
+        labels[i] = 1
+
+    return TileDataset(rgb=np.clip(rgb, 0, 255), positions=positions, labels=labels)
+
+
+def make_volcano_tiles(grid: int = 61, random_state=None) -> TileDataset:
+    """Volcano-like radial cone (default 61x61 = 3721 tiles, as Table III).
+
+    Plants a 3-tile snow microcluster at the summit and 3 scattered odd
+    tiles (bare rock / water) on the flanks.
+    """
+    rng = check_random_state(random_state)
+    n = grid * grid
+    rows, cols = np.divmod(np.arange(n), grid)
+    positions = np.column_stack([rows, cols]).astype(np.float64)
+    center = (grid - 1) / 2.0
+    radius = np.sqrt((rows - center) ** 2 + (cols - center) ** 2) / center
+
+    # Vegetated foothills (green) grading into dark rock near the summit.
+    green = np.clip(120.0 - 90.0 * (1.0 - radius), 20.0, 120.0)
+    rock = np.clip(95.0 * (1.0 - radius), 0.0, 95.0)
+    rgb = np.column_stack([40.0 + rock, green + rock * 0.4, 30.0 + rock * 0.5])
+    rgb += rng.normal(0.0, 6.0, size=rgb.shape)
+
+    labels = np.zeros(n, dtype=np.intp)
+    summit = int(center) * grid + int(center)
+    snow = [summit, summit + 1, summit + grid]  # 3 adjacent summit tiles
+    for i in snow:
+        rgb[i] = [238.0, 240.0, 248.0] + rng.normal(0.0, 2.0, 3)
+        labels[i] = 2
+    scattered = [
+        int(center + 18) * grid + int(center + 5),
+        int(center - 20) * grid + int(center - 10),
+        int(center + 8) * grid + int(center - 22),
+    ]
+    hues = [[15, 30, 120], [200, 180, 40], [90, 10, 10]]
+    for i, hue in zip(scattered, hues):
+        rgb[i] = np.array(hue, dtype=np.float64) + rng.normal(0.0, 2.0, 3)
+        labels[i] = 1
+
+    return TileDataset(rgb=np.clip(rgb, 0, 255), positions=positions, labels=labels)

@@ -1,0 +1,111 @@
+"""The Last Names stand-in (Fig. 1(ii)): US surnames + non-English outliers.
+
+The paper samples 5k surnames frequent in the US (inliers) and 50
+frequent elsewhere (outliers), compared under the Levenshtein distance.
+Offline we embed curated lists (frequent US surnames from census-style
+rankings; non-English surnames of varied origins — Polish, Vietnamese,
+Greek, Icelandic, Ethiopian, ...) and sample with replacement to the
+requested sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import check_random_state
+
+# Frequent US surnames (census-style top lists; short, English-pattern).
+US_SURNAMES = [
+    "SMITH", "JOHNSON", "WILLIAMS", "BROWN", "JONES", "GARCIA", "MILLER",
+    "DAVIS", "RODRIGUEZ", "MARTINEZ", "HERNANDEZ", "LOPEZ", "GONZALEZ",
+    "WILSON", "ANDERSON", "THOMAS", "TAYLOR", "MOORE", "JACKSON", "MARTIN",
+    "LEE", "PEREZ", "THOMPSON", "WHITE", "HARRIS", "SANCHEZ", "CLARK",
+    "RAMIREZ", "LEWIS", "ROBINSON", "WALKER", "YOUNG", "ALLEN", "KING",
+    "WRIGHT", "SCOTT", "TORRES", "NGUYEN", "HILL", "FLORES", "GREEN",
+    "ADAMS", "NELSON", "BAKER", "HALL", "RIVERA", "CAMPBELL", "MITCHELL",
+    "CARTER", "ROBERTS", "GOMEZ", "PHILLIPS", "EVANS", "TURNER", "DIAZ",
+    "PARKER", "CRUZ", "EDWARDS", "COLLINS", "REYES", "STEWART", "MORRIS",
+    "MORALES", "MURPHY", "COOK", "ROGERS", "GUTIERREZ", "ORTIZ", "MORGAN",
+    "COOPER", "PETERSON", "BAILEY", "REED", "KELLY", "HOWARD", "RAMOS",
+    "KIM", "COX", "WARD", "RICHARDSON", "WATSON", "BROOKS", "CHAVEZ",
+    "WOOD", "JAMES", "BENNETT", "GRAY", "MENDOZA", "RUIZ", "HUGHES",
+    "PRICE", "ALVAREZ", "CASTILLO", "SANDERS", "PATEL", "MYERS", "LONG",
+    "ROSS", "FOSTER", "JIMENEZ", "POWELL", "JENKINS", "PERRY", "RUSSELL",
+    "SULLIVAN", "BELL", "COLEMAN", "BUTLER", "HENDERSON", "BARNES",
+    "GONZALES", "FISHER", "VASQUEZ", "SIMMONS", "ROMERO", "JORDAN",
+    "PATTERSON", "ALEXANDER", "HAMILTON", "GRAHAM", "REYNOLDS", "GRIFFIN",
+    "WALLACE", "MORENO", "WEST", "COLE", "HAYES", "BRYANT", "HERRERA",
+    "GIBSON", "ELLIS", "TRAN", "MEDINA", "AGUILAR", "STEVENS", "MURRAY",
+    "FORD", "CASTRO", "MARSHALL", "OWENS", "HARRISON", "FERNANDEZ",
+    "MCDONALD", "WOODS", "WASHINGTON", "KENNEDY", "WELLS", "VARGAS",
+    "HENRY", "CHEN", "FREEMAN", "WEBB", "TUCKER", "GUZMAN", "BURNS",
+    "CRAWFORD", "OLSON", "SIMPSON", "PORTER", "HUNTER", "GORDON", "MENDEZ",
+    "SILVA", "SHAW", "SNYDER", "MASON", "DIXON", "MUNOZ", "HUNT", "HICKS",
+    "HOLMES", "PALMER", "WAGNER", "BLACK", "ROBERTSON", "BOYD", "ROSE",
+    "STONE", "SALAZAR", "FOX", "WARREN", "MILLS", "MEYER", "RICE",
+    "SCHMIDT", "GARZA", "DANIELS", "FERGUSON", "NICHOLS", "STEPHENS",
+    "SOTO", "WEAVER", "RYAN", "GARDNER", "PAYNE", "GRANT", "DUNN",
+    "KELLEY", "SPENCER", "HAWKINS", "ARNOLD", "PIERCE", "VAZQUEZ",
+    "HANSEN", "PETERS", "SANTOS", "HART", "BRADLEY", "KNIGHT", "ELLIOTT",
+    "CUNNINGHAM", "DUNCAN", "ARMSTRONG", "HUDSON", "CARROLL", "LANE",
+    "RILEY", "ANDREWS", "ALVARADO", "RAY", "DELGADO", "BERRY", "PERKINS",
+    "HOFFMAN", "JOHNSTON", "MATTHEWS", "PENA", "RICHARDS", "CONTRERAS",
+    "WILLIS", "CARPENTER", "LAWRENCE", "SANDOVAL", "GUERRERO", "GEORGE",
+    "CHAPMAN", "RIOS", "ESTRADA", "ORTEGA", "WATKINS", "GREENE", "NUNEZ",
+    "WHEELER", "VALDEZ", "HARPER", "BURKE", "LARSON", "SANTIAGO",
+    "MALDONADO", "MORRISON", "FRANKLIN", "CARLSON", "AUSTIN", "DOMINGUEZ",
+    "CARR", "LAWSON", "JACOBS", "OBRIEN", "LYNCH", "SINGH", "VEGA",
+    "BISHOP", "MONTGOMERY", "OLIVER", "JENSEN", "HARVEY", "WILLIAMSON",
+    "GILBERT", "DEAN", "SIMS", "ESPINOZA", "HOWELL", "LI", "WONG", "REID",
+    "HANSON", "LE", "MCCOY", "GARRETT", "BURTON", "FULLER", "WANG",
+    "WEBER", "WELCH", "ROJAS", "LUCAS", "MARQUEZ", "FIELDS", "PARK",
+    "YANG", "LITTLE", "BANKS", "PADILLA", "DAY", "WALSH", "BOWMAN",
+    "SCHULTZ", "LUNA", "FOWLER", "MEJIA",
+]
+
+# Surnames frequent elsewhere (the paper's outliers carry many origins).
+NON_ENGLISH_SURNAMES = [
+    "BRZEZINSKI", "SZCZEPANSKI", "WOJCIECHOWSKI", "KRZYZANOWSKI",  # Polish
+    "NGUYENTHI", "PHAMVAN", "TRANTHIKIM",  # Vietnamese compounds
+    "PAPADOPOULOS", "GIANNOPOULOS", "HATZIDAKIS",  # Greek
+    "GUDMUNDSDOTTIR", "SIGURDARDOTTIR", "JONSSONARSON",  # Icelandic
+    "TESFAYE", "GEBREMARIAM", "WOLDEMARIAM",  # Ethiopian
+    "OYELARANTINUBU", "CHUKWUEMEKA", "OLUWASEUN",  # Nigerian
+    "SRINIVASAN", "VENKATARAMAN", "KRISHNAMURTHY",  # Tamil
+    "DELLAROVERE", "QUATTROCCHI", "MASTROIANNI",  # Italian
+    "ZHELEZNYAKOV", "MIKHAILOVSKY", "DOSTOYEVSKY",  # Russian
+    "KOVALENKOVYCH", "BONDARENKOVA",  # Ukrainian
+    "ABDURRAHMANOGLU", "KARAOSMANOGLU",  # Turkish
+    "VONHOHENZOLLERN", "SCHWARZENEGGER",  # German
+    "RAVANAKORNUPATHAM", "SIRIVADHANABHAKDI",  # Thai
+    "RAKOTOMALALA", "RAZAFINDRAKOTO",  # Malagasy
+    "KEREKESFALVI", "SZENTGYORGYI",  # Hungarian
+    "VANDENBROUCKE", "VERMEULENBERG",  # Dutch/Flemish
+    "FERNANDOPULLE", "WICKRAMASINGHE",  # Sri Lankan
+    "TCHAIKOVSKAYA", "PRZYBYLSKI", "YAMAMOTOKAWA", "XIAOJIANGLIN",
+    "OKONKWOEZE", "MBEKIMANDELA", "KJAERGAARD", "THORVALDSEN",
+]
+
+
+def make_last_names(
+    n_inliers: int = 1000,
+    n_outliers: int = 20,
+    random_state=None,
+) -> tuple[list[str], np.ndarray]:
+    """Sampled (names, labels) with 1 = non-English outlier.
+
+    Inliers are drawn with replacement (names repeat, as real surname
+    data does); outliers are drawn without replacement to keep the 50
+    distinct origins of the paper's outlier set.
+    """
+    rng = check_random_state(random_state)
+    if n_outliers > len(NON_ENGLISH_SURNAMES):
+        raise ValueError(
+            f"at most {len(NON_ENGLISH_SURNAMES)} distinct outlier names available"
+        )
+    inliers = list(rng.choice(US_SURNAMES, size=n_inliers, replace=True))
+    outliers = list(rng.choice(NON_ENGLISH_SURNAMES, size=n_outliers, replace=False))
+    names = inliers + outliers
+    labels = np.zeros(len(names), dtype=np.intp)
+    labels[n_inliers:] = 1
+    return names, labels

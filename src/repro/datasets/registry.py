@@ -1,0 +1,149 @@
+"""Dataset registry: every Table III dataset behind one loader.
+
+``load(name, scale=..., random_state=...)`` returns a
+:class:`LoadedDataset` holding the data, binary outlier labels (where
+known), and — for nondimensional data — the distance function, so the
+benches can iterate the full paper grid uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.datasets.axioms import make_axiom_dataset
+from repro.datasets.benchmarks import (
+    BENCHMARK_SPECS,
+    MICROCLUSTER_DATASETS,
+    make_benchmark_like,
+    make_http_like,
+)
+from repro.datasets.imagery import make_shanghai_tiles, make_volcano_tiles
+from repro.datasets.names import make_last_names
+from repro.datasets.shapes import make_fingerprints, make_skeletons
+from repro.datasets.synthetic import diagonal_line, uniform_cube
+from repro.metric.strings import levenshtein
+from repro.metric.trees import tree_edit_distance
+from repro.utils.rng import check_random_state
+
+
+@dataclass
+class LoadedDataset:
+    """One loaded dataset ready for the evaluation harness."""
+
+    name: str
+    data: object  # ndarray for vector data, list of objects otherwise
+    labels: np.ndarray | None  # binary, 1 = outlier; None if unknown
+    metric: Callable | None  # None = Euclidean on vectors
+    has_microclusters: bool = False
+
+    @property
+    def is_vector(self) -> bool:
+        return isinstance(self.data, np.ndarray)
+
+    @property
+    def n(self) -> int:
+        return len(self.data)
+
+
+#: Names of the vector benchmark stand-ins (Fig. 6 'Real' block).
+BENCHMARK_NAMES = tuple(sorted(BENCHMARK_SPECS))
+#: Nondimensional datasets (Fig. 6 'Metric' block).
+METRIC_NAMES = ("last_names", "fingerprints", "skeletons")
+#: Axiom datasets (Fig. 6 'Axioms' block): shape x axiom.
+AXIOM_NAMES = tuple(
+    f"{shape}_{axiom}"
+    for axiom in ("isolation", "cardinality")
+    for shape in ("gaussian", "cross", "arc")
+)
+#: Satellite datasets (outliers "unknown" in the paper; ours are planted).
+SATELLITE_NAMES = ("shanghai", "volcanoes")
+#: Scalability datasets.
+SYNTH_NAMES = ("uniform", "diagonal")
+
+
+def dataset_names() -> list[str]:
+    """All loadable dataset names."""
+    return list(BENCHMARK_NAMES) + list(METRIC_NAMES) + list(AXIOM_NAMES) + list(
+        SATELLITE_NAMES
+    ) + list(SYNTH_NAMES)
+
+
+def load(
+    name: str,
+    *,
+    scale: float = 1.0,
+    random_state=0,
+    dim: int = 2,
+    n: int | None = None,
+) -> LoadedDataset:
+    """Load dataset ``name``.
+
+    ``scale`` shrinks the Table III cardinality (handy for tests and
+    time-boxed benches); ``dim``/``n`` configure the synthetic Uniform
+    and Diagonal families.
+    """
+    rng = check_random_state(random_state)
+    key = name.lower()
+
+    if key in BENCHMARK_SPECS:
+        if key == "http":
+            X, y = make_http_like(scale=scale, random_state=rng)
+        else:
+            X, y = make_benchmark_like(key, scale=scale, random_state=rng)
+        return LoadedDataset(
+            key, X, y, None, has_microclusters=key in MICROCLUSTER_DATASETS
+        )
+
+    if key == "last_names":
+        names, y = make_last_names(
+            n_inliers=max(50, int(1000 * scale)),
+            n_outliers=max(5, int(20 * scale)),
+            random_state=rng,
+        )
+        return LoadedDataset(key, names, y, levenshtein)
+
+    if key == "fingerprints":
+        codes, y = make_fingerprints(
+            n_full=max(30, int(398 * scale)),
+            n_partial=max(3, int(10 * scale)),
+            random_state=rng,
+        )
+        return LoadedDataset(key, codes, y, levenshtein)
+
+    if key == "skeletons":
+        trees, y = make_skeletons(
+            n_humans=max(20, int(200 * scale)), n_animals=3, random_state=rng
+        )
+        return LoadedDataset(key, trees, y, tree_edit_distance)
+
+    if key in AXIOM_NAMES:
+        shape, axiom = key.rsplit("_", 1)
+        ds = make_axiom_dataset(
+            shape, axiom, n_inliers=max(500, int(20_000 * scale)), random_state=rng
+        )
+        return LoadedDataset(
+            key, ds.X, (ds.labels > 0).astype(np.intp), None, has_microclusters=True
+        )
+
+    if key == "shanghai":
+        tiles = make_shanghai_tiles(random_state=rng)
+        return LoadedDataset(
+            key, tiles.rgb, (tiles.labels > 0).astype(np.intp), None, has_microclusters=True
+        )
+    if key == "volcanoes":
+        tiles = make_volcano_tiles(random_state=rng)
+        return LoadedDataset(
+            key, tiles.rgb, (tiles.labels > 0).astype(np.intp), None, has_microclusters=True
+        )
+
+    if key == "uniform":
+        size = n if n is not None else max(100, int(1_000_000 * scale))
+        return LoadedDataset(key, uniform_cube(size, dim, rng), None, None)
+    if key == "diagonal":
+        size = n if n is not None else max(100, int(1_000_000 * scale))
+        return LoadedDataset(key, diagonal_line(size, dim, random_state=rng), None, None)
+
+    raise KeyError(f"unknown dataset {name!r}; choose from {dataset_names()}")

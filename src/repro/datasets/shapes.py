@@ -1,0 +1,122 @@
+"""Skeletons and Fingerprints stand-ins (Fig. 1(iii) and Table III).
+
+- **Skeletons**: the paper compares 200 human skeleton graphs against 3
+  wild-animal ones under a graph edit distance.  Skeleton graphs are
+  trees, so we generate labeled trees: bipeds (head-torso-two-arms-two-
+  legs topology with natural variation in segment lengths) as inliers
+  and quadrupeds (four legs off a horizontal spine plus a tail) as
+  outliers, compared with the Zhang-Shasha tree edit distance.
+
+- **Fingerprints**: ridges from 398 full and 10 partial fingerprints.
+  We encode each print as a ridge-direction code string from one of a
+  few pattern classes (loop / whorl / arch); *partial* prints are
+  truncated codes — the outliers — compared with the edit distance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metric.trees import LabeledTree
+from repro.utils.rng import check_random_state
+
+
+def _chain(label: str, length: int) -> LabeledTree:
+    """A path of ``length`` nodes labeled ``label`` (a limb of segments)."""
+    node = LabeledTree(label)
+    head = node
+    for _ in range(length - 1):
+        node = node.add(LabeledTree(label))
+    return head
+
+
+def make_human_skeleton(rng: np.random.Generator) -> LabeledTree:
+    """A biped: torso chain with head, two arms, and two legs."""
+    torso_len = int(rng.integers(3, 6))
+    root = LabeledTree("torso")
+    node = root
+    for _ in range(torso_len - 1):
+        node = node.add(LabeledTree("torso"))
+    # Head (with occasional neck segment) at the top of the torso.
+    head = root.add(LabeledTree("neck")) if rng.random() < 0.5 else root
+    head.add(_chain("head", 1))
+    for _ in range(2):
+        root.add(_chain("arm", int(rng.integers(2, 5))))
+    for _ in range(2):
+        node.add(_chain("leg", int(rng.integers(3, 6))))
+    return root
+
+
+def make_quadruped_skeleton(rng: np.random.Generator) -> LabeledTree:
+    """A wild animal: horizontal spine, four legs, tail, snout."""
+    spine_len = int(rng.integers(5, 9))
+    root = LabeledTree("spine")
+    node = root
+    legs_at = {1, spine_len - 2}
+    spine_nodes = [root]
+    for i in range(1, spine_len):
+        node = node.add(LabeledTree("spine"))
+        spine_nodes.append(node)
+    for i in legs_at:
+        for _ in range(2):
+            spine_nodes[i].add(_chain("leg", int(rng.integers(2, 4))))
+    spine_nodes[0].add(_chain("snout", int(rng.integers(1, 3))))
+    spine_nodes[-1].add(_chain("tail", int(rng.integers(3, 7))))
+    return root
+
+
+def make_skeletons(
+    n_humans: int = 200, n_animals: int = 3, random_state=None
+) -> tuple[list[LabeledTree], np.ndarray]:
+    """(trees, labels) with 1 = wild-animal skeleton (Table III: 203 graphs)."""
+    rng = check_random_state(random_state)
+    trees = [make_human_skeleton(rng) for _ in range(n_humans)]
+    trees += [make_quadruped_skeleton(rng) for _ in range(n_animals)]
+    labels = np.zeros(len(trees), dtype=np.intp)
+    labels[n_humans:] = 1
+    return trees, labels
+
+
+# -- fingerprints -----------------------------------------------------------
+
+_PATTERNS = {
+    # Ridge-flow grammars per fingerprint class: repeated motifs give
+    # class-consistent long codes.
+    "loop": "LRRULLDRRU",
+    "whorl": "CWCCWWCWCC",
+    "arch": "AUUDDAAUUD",
+}
+
+
+def _ridge_code(pattern: str, length: int, rng: np.random.Generator) -> str:
+    motif = _PATTERNS[pattern]
+    code = (motif * (length // len(motif) + 1))[:length]
+    # Natural variation: a few point mutations.
+    chars = list(code)
+    for _ in range(max(1, length // 12)):
+        pos = int(rng.integers(length))
+        chars[pos] = str(rng.choice(list("LRUDCWA")))
+    return "".join(chars)
+
+
+def make_fingerprints(
+    n_full: int = 398, n_partial: int = 10, random_state=None
+) -> tuple[list[str], np.ndarray]:
+    """(ridge codes, labels) with 1 = partial print (Table III: 408 prints).
+
+    Full prints are ~60-character class-consistent ridge codes; partial
+    prints are 12-20 character fragments — far (in edit distance) from
+    every full print and moderately close to each other.
+    """
+    rng = check_random_state(random_state)
+    classes = list(_PATTERNS)
+    codes = [
+        _ridge_code(classes[int(rng.integers(len(classes)))], int(rng.integers(55, 70)), rng)
+        for _ in range(n_full)
+    ]
+    for _ in range(n_partial):
+        codes.append(_ridge_code(classes[int(rng.integers(len(classes)))],
+                                 int(rng.integers(12, 21)), rng))
+    labels = np.zeros(len(codes), dtype=np.intp)
+    labels[n_full:] = 1
+    return codes, labels

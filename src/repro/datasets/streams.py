@@ -1,0 +1,112 @@
+"""Stream workload generators for the streaming extension.
+
+Batched feeds with controlled temporal structure:
+
+- :func:`regime_shift_stream` — the inlier distribution jumps to a new
+  location partway through (tests window eviction / model staleness);
+- :func:`burst_stream` — a steady inlier feed with a coordinated
+  microcluster burst injected at a known batch (the fraud-campaign /
+  DoS shape of the paper's Sec. I motivation);
+- :func:`trickle_stream` — one-off outliers sprinkled at a fixed rate.
+
+Each generator yields ``(batch, labels)`` pairs so tests can check the
+alerts against ground truth batch by batch.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.utils.rng import check_random_state
+
+
+def _check(n_batches: int, batch_size: int) -> None:
+    if n_batches < 1:
+        raise ValueError(f"n_batches must be >= 1, got {n_batches}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+
+
+def regime_shift_stream(
+    n_batches: int = 10,
+    batch_size: int = 100,
+    *,
+    shift_at: float = 0.5,
+    offset: float = 30.0,
+    dim: int = 2,
+    random_state=0,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Gaussian inliers whose mean jumps by ``offset`` after a fraction
+    ``shift_at`` of the batches.  All labels are False (nothing is an
+    outlier *within* its regime) — what shifts is the model's notion of
+    normal, which is the sliding-window test case.
+    """
+    _check(n_batches, batch_size)
+    if not 0.0 < shift_at < 1.0:
+        raise ValueError(f"shift_at must be in (0, 1), got {shift_at}")
+    rng = check_random_state(random_state)
+    switch = int(round(n_batches * shift_at))
+    for b in range(n_batches):
+        center = 0.0 if b < switch else offset
+        batch = rng.normal(center, 1.0, (batch_size, dim))
+        yield batch, np.zeros(batch_size, dtype=bool)
+
+
+def burst_stream(
+    n_batches: int = 10,
+    batch_size: int = 100,
+    *,
+    burst_batch: int = 7,
+    burst_size: int = 12,
+    burst_offset: float = 15.0,
+    burst_spread: float = 0.05,
+    dim: int = 2,
+    random_state=0,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Steady Gaussian inliers with a tight coordinated burst injected
+    into batch ``burst_batch`` — the microcluster arrival scenario.
+    """
+    _check(n_batches, batch_size)
+    if not 0 <= burst_batch < n_batches:
+        raise ValueError(f"burst_batch must be in [0, {n_batches}), got {burst_batch}")
+    if burst_size < 1:
+        raise ValueError(f"burst_size must be >= 1, got {burst_size}")
+    rng = check_random_state(random_state)
+    for b in range(n_batches):
+        batch = rng.normal(0.0, 1.0, (batch_size, dim))
+        labels = np.zeros(batch_size, dtype=bool)
+        if b == burst_batch:
+            center = np.full(dim, burst_offset)
+            burst = rng.normal(center, burst_spread, (burst_size, dim))
+            batch = np.vstack([batch, burst])
+            labels = np.concatenate([labels, np.ones(burst_size, dtype=bool)])
+        yield batch, labels
+
+
+def trickle_stream(
+    n_batches: int = 10,
+    batch_size: int = 100,
+    *,
+    outlier_rate: float = 0.01,
+    outlier_offset: float = 20.0,
+    dim: int = 2,
+    random_state=0,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Steady inliers with independent one-off outliers at
+    ``outlier_rate`` per element, each placed at a random direction
+    ``outlier_offset`` away from the inlier mass.
+    """
+    _check(n_batches, batch_size)
+    if not 0.0 <= outlier_rate <= 1.0:
+        raise ValueError(f"outlier_rate must be in [0, 1], got {outlier_rate}")
+    rng = check_random_state(random_state)
+    for _ in range(n_batches):
+        batch = rng.normal(0.0, 1.0, (batch_size, dim))
+        labels = rng.random(batch_size) < outlier_rate
+        for i in np.nonzero(labels)[0]:
+            direction = rng.normal(size=dim)
+            direction /= np.linalg.norm(direction)
+            batch[i] = direction * outlier_offset + rng.normal(0, 0.1, dim)
+        yield batch, labels

@@ -1,0 +1,108 @@
+"""Synthetic vector datasets: Uniform, Diagonal, blobs, planted outliers.
+
+Uniform and Diagonal are the paper's scalability datasets (Table III):
+up to 1M points, 2-50 dimensions, fractal dimension equal to the
+embedding dimension (Uniform) or 1.0 (Diagonal).  The helpers here also
+plant singleton outliers and microclusters with controlled bridge
+lengths, which the axiom and accuracy generators build on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import check_random_state
+
+
+def uniform_cube(n: int, dim: int, random_state=None) -> np.ndarray:
+    """``n`` points uniform in the unit cube (fractal dimension = dim)."""
+    rng = check_random_state(random_state)
+    return rng.uniform(0.0, 1.0, size=(n, dim))
+
+
+def diagonal_line(n: int, dim: int, jitter: float = 0.0, random_state=None) -> np.ndarray:
+    """``n`` points on the main diagonal of the unit cube (fractal dim 1).
+
+    ``jitter`` adds isotropic noise of that scale (0 keeps the exact
+    line, as in the paper's Diagonal dataset).
+    """
+    rng = check_random_state(random_state)
+    t = rng.uniform(0.0, 1.0, size=n)
+    X = np.repeat(t[:, None], dim, axis=1)
+    if jitter > 0:
+        X = X + rng.normal(0.0, jitter, size=X.shape)
+    return X
+
+
+def gaussian_blobs(
+    n: int,
+    dim: int,
+    n_blobs: int = 3,
+    spread: float = 0.05,
+    random_state=None,
+) -> np.ndarray:
+    """A mixture of ``n_blobs`` Gaussians with centers in the unit cube."""
+    rng = check_random_state(random_state)
+    centers = rng.uniform(0.2, 0.8, size=(n_blobs, dim))
+    assignment = rng.integers(n_blobs, size=n)
+    return centers[assignment] + rng.normal(0.0, spread, size=(n, dim))
+
+
+def plant_microcluster(
+    inliers: np.ndarray,
+    cardinality: int,
+    bridge_length: float,
+    *,
+    tightness: float = 0.02,
+    direction: np.ndarray | None = None,
+    random_state=None,
+) -> np.ndarray:
+    """A clump of ``cardinality`` points at ``bridge_length`` from the inliers.
+
+    The clump center is placed so its *nearest inlier* is exactly (up to
+    the clump's own tiny radius) ``bridge_length`` away: we pick the
+    inlier on the hull in a random outward direction and offset from it.
+    ``tightness`` is the clump's standard deviation, kept well below the
+    bridge so the planted structure is unambiguous.
+    """
+    rng = check_random_state(random_state)
+    dim = inliers.shape[1]
+    if direction is None:
+        direction = rng.normal(size=dim)
+    direction = np.asarray(direction, dtype=np.float64)
+    direction = direction / np.linalg.norm(direction)
+    # Hull point: the inlier farthest along the direction.
+    anchor = inliers[np.argmax(inliers @ direction)]
+    center = anchor + direction * bridge_length
+    clump = center + rng.normal(0.0, tightness, size=(cardinality, dim))
+    return clump
+
+
+def plant_singletons(
+    inliers: np.ndarray,
+    count: int,
+    distance: float,
+    random_state=None,
+) -> np.ndarray:
+    """``count`` isolated points, each ``distance`` beyond the inlier hull."""
+    rng = check_random_state(random_state)
+    out = np.empty((count, inliers.shape[1]))
+    for i in range(count):
+        out[i] = plant_microcluster(
+            inliers, 1, distance, tightness=0.0, random_state=rng
+        )[0]
+    return out
+
+
+def labeled_outlier_dataset(
+    inliers: np.ndarray, *outlier_groups: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stack inliers + groups; labels: 0 = inlier, g = 1-based group id."""
+    parts = [inliers, *outlier_groups]
+    X = np.vstack(parts)
+    labels = np.zeros(X.shape[0], dtype=np.intp)
+    offset = inliers.shape[0]
+    for g, group in enumerate(outlier_groups, start=1):
+        labels[offset : offset + group.shape[0]] = g
+        offset += group.shape[0]
+    return X, labels

@@ -1,0 +1,79 @@
+"""Evaluation harness: metrics, rank aggregation, axiom tests, runtime."""
+
+from repro.eval.axioms import (
+    AxiomTestResult,
+    AxiomTrial,
+    aggregate_trials,
+    match_planted_microcluster,
+    run_axiom_suite,
+    run_axiom_trial,
+)
+from repro.eval.bootstrap import BootstrapResult, bootstrap_metric
+from repro.eval.correlation import kendall_tau, spearman_rho
+from repro.eval.leaderboard import CellResult, Leaderboard, evaluate_detectors
+from repro.eval.metrics import (
+    ALL_METRICS,
+    auroc,
+    average_precision,
+    max_f1,
+    precision_recall_curve,
+)
+from repro.eval.topk import (
+    precision_at_k,
+    precision_at_n_outliers,
+    recall_at_k,
+    top_k_indices,
+)
+from repro.eval.ranking import format_rank_table, harmonic_mean_rank, ranking_positions
+from repro.eval.runtime import (
+    ScalingResult,
+    SweepPoint,
+    fit_loglog_slope,
+    runtime_sweep,
+    time_callable,
+)
+from repro.eval.sensitivity import (
+    A_GRID,
+    B_GRID,
+    C_FRACTION_GRID,
+    SensitivityCurve,
+    sweep_parameter,
+)
+
+__all__ = [
+    "evaluate_detectors",
+    "Leaderboard",
+    "CellResult",
+    "kendall_tau",
+    "spearman_rho",
+    "precision_at_k",
+    "recall_at_k",
+    "precision_at_n_outliers",
+    "top_k_indices",
+    "bootstrap_metric",
+    "BootstrapResult",
+    "auroc",
+    "average_precision",
+    "max_f1",
+    "precision_recall_curve",
+    "ALL_METRICS",
+    "ranking_positions",
+    "harmonic_mean_rank",
+    "format_rank_table",
+    "run_axiom_suite",
+    "run_axiom_trial",
+    "aggregate_trials",
+    "match_planted_microcluster",
+    "AxiomTrial",
+    "AxiomTestResult",
+    "runtime_sweep",
+    "fit_loglog_slope",
+    "time_callable",
+    "ScalingResult",
+    "SweepPoint",
+    "sweep_parameter",
+    "SensitivityCurve",
+    "A_GRID",
+    "B_GRID",
+    "C_FRACTION_GRID",
+]

@@ -1,0 +1,92 @@
+"""Bootstrap confidence intervals for evaluation metrics.
+
+The paper reports point estimates (AUROC, AP, Max-F1) per dataset;
+small benchmark datasets (Parkinson has 50 points, Hepatitis 70) make
+those estimates noisy.  A percentile bootstrap over resampled
+(label, score) pairs quantifies that noise without distributional
+assumptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.utils.rng import check_random_state
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """A point estimate with its percentile bootstrap interval."""
+
+    estimate: float
+    lower: float
+    upper: float
+    confidence: float
+    n_resamples: int
+
+    def __contains__(self, value: float) -> bool:
+        return self.lower <= value <= self.upper
+
+    def __repr__(self) -> str:
+        pct = int(round(self.confidence * 100))
+        return (
+            f"BootstrapResult({self.estimate:.4f}, "
+            f"{pct}% CI [{self.lower:.4f}, {self.upper:.4f}])"
+        )
+
+
+def bootstrap_metric(
+    metric: Callable[[np.ndarray, np.ndarray], float],
+    labels,
+    scores,
+    *,
+    n_resamples: int = 1000,
+    confidence: float = 0.95,
+    random_state=0,
+) -> BootstrapResult:
+    """Percentile bootstrap CI for ``metric(labels, scores)``.
+
+    Resamples that lose all positive (or all negative) labels are
+    redrawn, since threshold metrics are undefined on single-class
+    samples; this is the standard stratified-rejection convention.
+
+    Parameters
+    ----------
+    metric:
+        ``f(labels, scores) -> float`` (e.g. :func:`repro.eval.auroc`).
+    labels, scores:
+        Ground truth booleans and detector scores.
+    n_resamples:
+        Bootstrap iterations.
+    confidence:
+        Interval mass (default 0.95).
+    random_state:
+        Seed; fixed by default so reported CIs are reproducible.
+    """
+    y = np.asarray(labels).astype(bool).ravel()
+    s = np.asarray(scores, dtype=np.float64).ravel()
+    if y.size != s.size:
+        raise ValueError(f"length mismatch: {y.size} labels vs {s.size} scores")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if n_resamples < 1:
+        raise ValueError(f"n_resamples must be >= 1, got {n_resamples}")
+    if y.all() or not y.any():
+        raise ValueError("bootstrap_metric needs both classes present")
+
+    rng = check_random_state(random_state)
+    estimate = float(metric(y, s))
+    stats = np.empty(n_resamples)
+    n = y.size
+    for b in range(n_resamples):
+        while True:
+            idx = rng.integers(0, n, size=n)
+            if y[idx].any() and not y[idx].all():
+                break
+        stats[b] = metric(y[idx], s[idx])
+    alpha = (1.0 - confidence) / 2.0
+    lower, upper = np.quantile(stats, [alpha, 1.0 - alpha])
+    return BootstrapResult(estimate, float(lower), float(upper), confidence, n_resamples)

@@ -1,0 +1,77 @@
+"""Rank correlation from scratch: Kendall's tau-b and Spearman's rho.
+
+Used to compare detector *rankings* rather than raw scores — two
+detectors can disagree wildly in score magnitudes while inducing the
+same outlier ordering, which is what AUROC-style evaluation actually
+consumes.  Kendall's tau is also the objective XTreK [25] maximizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validate_pair(a, b) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(a, dtype=np.float64).ravel()
+    y = np.asarray(b, dtype=np.float64).ravel()
+    if x.size != y.size:
+        raise ValueError(f"length mismatch: {x.size} vs {y.size}")
+    if x.size < 2:
+        raise ValueError("rank correlation needs at least 2 observations")
+    return x, y
+
+
+def kendall_tau(a, b) -> float:
+    """Kendall's tau-b (tie-corrected), computed in O(n²) pairs.
+
+    Returns a value in [-1, 1]; 0 when either input is constant
+    (no ordering information).
+    """
+    x, y = _validate_pair(a, b)
+    n = x.size
+    concordant = discordant = 0
+    ties_x = ties_y = 0
+    for i in range(n - 1):
+        dx = x[i + 1 :] - x[i]
+        dy = y[i + 1 :] - y[i]
+        product_sign = np.sign(dx) * np.sign(dy)
+        concordant += int((product_sign > 0).sum())
+        discordant += int((product_sign < 0).sum())
+        ties_x += int(((dx == 0) & (dy != 0)).sum())
+        ties_y += int(((dy == 0) & (dx != 0)).sum())
+    denom = np.sqrt(
+        float(concordant + discordant + ties_x) * float(concordant + discordant + ties_y)
+    )
+    if denom == 0:
+        return 0.0
+    return (concordant - discordant) / denom
+
+
+def _rank_with_ties(values: np.ndarray) -> np.ndarray:
+    """Average ranks (1-based), with tied values sharing their mean rank."""
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(values.size, dtype=np.float64)
+    sorted_vals = values[order]
+    i = 0
+    while i < values.size:
+        j = i
+        while j + 1 < values.size and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    return ranks
+
+
+def spearman_rho(a, b) -> float:
+    """Spearman's rank correlation (Pearson correlation of average ranks).
+
+    Returns 0 when either input is constant.
+    """
+    x, y = _validate_pair(a, b)
+    rx, ry = _rank_with_ties(x), _rank_with_ties(y)
+    rx -= rx.mean()
+    ry -= ry.mean()
+    denom = np.sqrt((rx * rx).sum() * (ry * ry).sum())
+    if denom == 0:
+        return 0.0
+    return float((rx * ry).sum() / denom)

@@ -1,0 +1,167 @@
+"""Leaderboard: compare detectors across datasets in three lines.
+
+The programmatic face of Table IV — run any point-scoring detectors
+(McCatch included) over any labeled datasets, collect AUROC / AP /
+Max-F1, and aggregate with the paper's harmonic-mean-rank summary:
+
+>>> from repro.eval.leaderboard import evaluate_detectors  # doctest: +SKIP
+>>> board = evaluate_detectors([McCatch(), LOF(), IForest()], ["wine", "glass"])
+>>> print(board.render())  # doctest: +SKIP
+
+Detectors that raise on a dataset (nonapplicable, out of budget) are
+recorded as failures and simply don't compete there — the paper's
+treatment of its timeout/memory cells.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.mccatch import McCatch
+from repro.datasets.registry import LoadedDataset, load
+from repro.eval.metrics import ALL_METRICS
+from repro.eval.ranking import harmonic_mean_rank
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One (detector, dataset) evaluation."""
+
+    detector: str
+    dataset: str
+    metrics: dict[str, float]  # metric name -> value; empty on failure
+    seconds: float
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the detector produced scores on this dataset."""
+        return self.error is None
+
+
+@dataclass
+class Leaderboard:
+    """All cell results plus the Table IV-style aggregation."""
+
+    cells: list[CellResult] = field(default_factory=list)
+
+    def values(self, metric: str) -> list[dict[str, float]]:
+        """Per-dataset {detector: value} maps for one metric."""
+        by_dataset: dict[str, dict[str, float]] = {}
+        for cell in self.cells:
+            if cell.ok and metric in cell.metrics:
+                by_dataset.setdefault(cell.dataset, {})[cell.detector] = cell.metrics[metric]
+        return list(by_dataset.values())
+
+    def harmonic_mean_ranks(self, metric: str = "auroc") -> dict[str, float]:
+        """The paper's summary: harmonic mean of ranks, lower = better."""
+        return harmonic_mean_rank(self.values(metric))
+
+    def failures(self) -> list[CellResult]:
+        """Cells where a detector could not run (the 'NON APPL.' set)."""
+        return [c for c in self.cells if not c.ok]
+
+    def render(self, *, metric: str = "auroc") -> str:
+        """Monospace table: datasets as rows, detectors as columns."""
+        detectors: list[str] = []
+        datasets: list[str] = []
+        for cell in self.cells:
+            if cell.detector not in detectors:
+                detectors.append(cell.detector)
+            if cell.dataset not in datasets:
+                datasets.append(cell.dataset)
+        lookup = {(c.detector, c.dataset): c for c in self.cells}
+        width = max(8, *(len(d) for d in detectors)) + 2
+        lines = ["dataset".ljust(16) + "".join(d.rjust(width) for d in detectors)]
+        for ds in datasets:
+            row = [ds.ljust(16)]
+            for det in detectors:
+                cell = lookup.get((det, ds))
+                if cell is None or not cell.ok:
+                    row.append("fail".rjust(width))
+                else:
+                    row.append(f"{cell.metrics.get(metric, float('nan')):.3f}".rjust(width))
+            lines.append("".join(row))
+        hm = self.harmonic_mean_ranks(metric)
+        lines.append("-" * len(lines[0]))
+        lines.append(
+            "h.mean rank".ljust(16)
+            + "".join(
+                (f"{hm[d]:.2f}" if d in hm else "-").rjust(width) for d in detectors
+            )
+        )
+        return "\n".join(lines)
+
+
+def _score_with(detector, ds: LoadedDataset) -> np.ndarray:
+    """Dispatch: McCatch handles metric data itself; baselines need vectors."""
+    if isinstance(detector, McCatch):
+        return detector.fit(ds.data, ds.metric).point_scores
+    if not ds.is_vector:
+        raise TypeError(f"{_name(detector)} requires vector data (dataset {ds.name!r})")
+    return detector.fit_scores(np.asarray(ds.data))
+
+
+def _name(detector) -> str:
+    return getattr(detector, "name", None) or type(detector).__name__
+
+
+def evaluate_detectors(
+    detectors: Sequence,
+    datasets: Sequence,
+    *,
+    metrics: dict[str, Callable] | None = None,
+    scale: float = 1.0,
+    random_state: int = 0,
+) -> Leaderboard:
+    """Run every detector on every dataset and collect a Leaderboard.
+
+    Parameters
+    ----------
+    detectors:
+        McCatch instances and/or any objects with ``fit_scores(X)``
+        (every class in :mod:`repro.baselines` qualifies).  McCatch
+        gets the dataset's native metric; baselines get vectors only.
+    datasets:
+        Dataset names for :func:`repro.datasets.load`, or already
+        loaded :class:`LoadedDataset` objects.  Datasets without labels
+        are rejected — there is nothing to score against.
+    metrics:
+        Metric name -> ``f(labels, scores)``; defaults to the paper's
+        AUROC / Average Precision / Max-F1 (``ALL_METRICS``).
+    scale, random_state:
+        Forwarded to :func:`load` for named datasets.
+    """
+    if not detectors:
+        raise ValueError("need at least one detector")
+    if not datasets:
+        raise ValueError("need at least one dataset")
+    metric_fns = dict(ALL_METRICS) if metrics is None else dict(metrics)
+
+    loaded: list[LoadedDataset] = []
+    for ds in datasets:
+        if isinstance(ds, str):
+            ds = load(ds, scale=scale, random_state=random_state)
+        if ds.labels is None:
+            raise ValueError(f"dataset {ds.name!r} has no labels to evaluate against")
+        loaded.append(ds)
+
+    board = Leaderboard()
+    for ds in loaded:
+        labels = np.asarray(ds.labels).astype(bool)
+        for det in detectors:
+            t0 = time.perf_counter()
+            try:
+                scores = _score_with(det, ds)
+                values = {m: float(fn(labels, scores)) for m, fn in metric_fns.items()}
+                cell = CellResult(_name(det), ds.name, values, time.perf_counter() - t0)
+            except Exception as exc:  # noqa: BLE001 - failures are data here
+                cell = CellResult(
+                    _name(det), ds.name, {}, time.perf_counter() - t0, error=str(exc)
+                )
+            board.cells.append(cell)
+    return board

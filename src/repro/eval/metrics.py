@@ -1,0 +1,85 @@
+"""Evaluation metrics, from scratch: AUROC, Average Precision, Max-F1.
+
+The paper evaluates per-point anomaly scores with these three metrics
+(Table IV).  Conventions: ``y_true`` is binary (1 = outlier),
+``scores`` are higher-is-more-anomalous; ties are handled by midrank
+(AUROC) and by processing score groups atomically (AP / Max-F1), the
+standard definitions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validate(y_true, scores) -> tuple[np.ndarray, np.ndarray]:
+    y = np.asarray(y_true).astype(np.intp).ravel()
+    s = np.asarray(scores, dtype=np.float64).ravel()
+    if y.shape != s.shape:
+        raise ValueError(f"y_true {y.shape} and scores {s.shape} differ in length")
+    if not np.isin(y, (0, 1)).all():
+        raise ValueError("y_true must be binary (0 = inlier, 1 = outlier)")
+    if y.sum() == 0 or y.sum() == y.size:
+        raise ValueError("y_true needs at least one positive and one negative")
+    if not np.isfinite(s).all():
+        raise ValueError("scores must be finite")
+    return y, s
+
+
+def auroc(y_true, scores) -> float:
+    """Area under the ROC curve via the midrank (Mann-Whitney) formula."""
+    y, s = _validate(y_true, scores)
+    order = np.argsort(s, kind="stable")
+    ranks = np.empty(s.size, dtype=np.float64)
+    ranks[order] = np.arange(1, s.size + 1)
+    # Midranks for tied scores.
+    sorted_s = s[order]
+    i = 0
+    while i < s.size:
+        j = i
+        while j + 1 < s.size and sorted_s[j + 1] == sorted_s[i]:
+            j += 1
+        if j > i:
+            ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    n_pos = int(y.sum())
+    n_neg = y.size - n_pos
+    rank_sum = float(ranks[y == 1].sum())
+    return (rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg)
+
+
+def precision_recall_curve(y_true, scores) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(precision, recall, thresholds) sweeping thresholds high to low.
+
+    Tied scores enter together (one curve point per distinct score).
+    """
+    y, s = _validate(y_true, scores)
+    order = np.argsort(-s, kind="stable")
+    y_sorted = y[order]
+    s_sorted = s[order]
+    distinct = np.nonzero(np.diff(s_sorted))[0]
+    cut_positions = np.concatenate([distinct, [y.size - 1]])
+    tp = np.cumsum(y_sorted)[cut_positions].astype(np.float64)
+    predicted = (cut_positions + 1).astype(np.float64)
+    precision = tp / predicted
+    recall = tp / y.sum()
+    return precision, recall, s_sorted[cut_positions]
+
+
+def average_precision(y_true, scores) -> float:
+    """AP = sum over curve points of precision * delta-recall."""
+    precision, recall, _ = precision_recall_curve(y_true, scores)
+    delta = np.diff(np.concatenate([[0.0], recall]))
+    return float(np.sum(precision * delta))
+
+
+def max_f1(y_true, scores) -> float:
+    """Best F1 over all score thresholds."""
+    precision, recall, _ = precision_recall_curve(y_true, scores)
+    denom = precision + recall
+    with np.errstate(divide="ignore", invalid="ignore"):
+        f1 = np.where(denom > 0, 2.0 * precision * recall / denom, 0.0)
+    return float(f1.max())
+
+
+ALL_METRICS = {"auroc": auroc, "ap": average_precision, "max_f1": max_f1}

@@ -1,0 +1,72 @@
+"""Rank aggregation across datasets (Table IV).
+
+The paper summarizes accuracy as the *harmonic mean of the ranking
+positions* of each method over all datasets, per metric — lower is
+better (1.8 for McCatch vs 6.0 for LOCI under AUROC).  Methods that
+could not run on a dataset (timeout / memory / nonapplicable) simply
+don't compete there, matching the paper's treatment.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def ranking_positions(values: dict[str, float], *, higher_is_better: bool = True) -> dict[str, float]:
+    """Competition ranks (1 = best) with average ranks on ties.
+
+    ``values`` maps method name -> metric value on one dataset; methods
+    absent from the dict did not run and get no rank.
+    """
+    names = list(values)
+    vals = np.array([values[m] for m in names], dtype=np.float64)
+    order = -vals if higher_is_better else vals
+    sorted_idx = np.argsort(order, kind="stable")
+    ranks = np.empty(len(names), dtype=np.float64)
+    i = 0
+    while i < len(names):
+        j = i
+        while j + 1 < len(names) and order[sorted_idx[j + 1]] == order[sorted_idx[i]]:
+            j += 1
+        ranks[sorted_idx[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    return {names[k]: float(ranks[k]) for k in range(len(names))}
+
+
+def harmonic_mean_rank(per_dataset_values: list[dict[str, float]]) -> dict[str, float]:
+    """Harmonic mean of each method's ranks across datasets (Table IV).
+
+    Each element of ``per_dataset_values`` maps method -> value on one
+    dataset (higher = better).  Methods missing everywhere are omitted.
+    """
+    rank_lists: dict[str, list[float]] = {}
+    for values in per_dataset_values:
+        if not values:
+            continue
+        for method, rank in ranking_positions(values).items():
+            rank_lists.setdefault(method, []).append(rank)
+    out: dict[str, float] = {}
+    for method, ranks in rank_lists.items():
+        out[method] = len(ranks) / sum(1.0 / r for r in ranks)
+    return out
+
+
+def format_rank_table(
+    hmeans: dict[str, dict[str, float]], metric_order: list[str] | None = None
+) -> str:
+    """Plain-text Table IV: one row per metric, one column per method."""
+    metrics = metric_order or sorted(hmeans)
+    methods: list[str] = sorted({m for row in hmeans.values() for m in row})
+    width = max(8, *(len(m) + 1 for m in methods))
+    header = f"{'metric':<22}" + "".join(f"{m:>{width}}" for m in methods)
+    lines = [header, "-" * len(header)]
+    for metric in metrics:
+        row = hmeans.get(metric, {})
+        cells = "".join(
+            f"{row[m]:>{width}.1f}" if m in row and math.isfinite(row[m]) else f"{'-':>{width}}"
+            for m in methods
+        )
+        lines.append(f"{'H.MeanRank(' + metric + ')':<22}" + cells)
+    return "\n".join(lines)

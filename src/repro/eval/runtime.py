@@ -1,0 +1,77 @@
+"""Runtime measurement and log-log slope fitting (Fig. 7 / Table VI).
+
+Fig. 7 plots McCatch's runtime against the dataset size for samples of
+Uniform and Diagonal, comparing the measured log-log slope with
+Lemma 1's expectation ``2 - 1/u`` (``u`` = correlation fractal
+dimension).  These helpers time callables over a size sweep and fit the
+slope.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+@dataclass
+class SweepPoint:
+    """One (size, seconds) measurement."""
+
+    n: int
+    seconds: float
+
+
+@dataclass
+class ScalingResult:
+    """A size sweep plus its fitted log-log slope."""
+
+    label: str
+    points: list[SweepPoint]
+    slope: float
+    expected_slope: float | None = None
+
+    def table(self) -> str:
+        lines = [f"{self.label}: slope={self.slope:.2f}"
+                 + (f" (expected {self.expected_slope:.2f})" if self.expected_slope else "")]
+        for p in self.points:
+            lines.append(f"  n={p.n:>9,d}  {p.seconds:8.3f}s")
+        return "\n".join(lines)
+
+
+def time_callable(fn: Callable[[], object], *, repeats: int = 1) -> float:
+    """Best-of-``repeats`` wall time of ``fn()`` in seconds."""
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return float(best)
+
+
+def fit_loglog_slope(sizes: Sequence[int], seconds: Sequence[float]) -> float:
+    """Least-squares slope of log(seconds) vs log(n)."""
+    sizes = np.asarray(sizes, dtype=np.float64)
+    seconds = np.maximum(np.asarray(seconds, dtype=np.float64), 1e-9)
+    if sizes.size < 2:
+        raise ValueError("need at least two sweep points to fit a slope")
+    return float(np.polyfit(np.log(sizes), np.log(seconds), deg=1)[0])
+
+
+def runtime_sweep(
+    label: str,
+    run_at_size: Callable[[int], object],
+    sizes: Sequence[int],
+    *,
+    expected_slope: float | None = None,
+    repeats: int = 1,
+) -> ScalingResult:
+    """Time ``run_at_size(n)`` for each ``n`` and fit the log-log slope."""
+    points = [
+        SweepPoint(int(n), time_callable(lambda n=n: run_at_size(int(n)), repeats=repeats))
+        for n in sizes
+    ]
+    slope = fit_loglog_slope([p.n for p in points], [p.seconds for p in points])
+    return ScalingResult(label, points, slope, expected_slope)

@@ -1,0 +1,64 @@
+"""Top-k retrieval metrics for anomaly rankings.
+
+AUROC integrates over all thresholds; an analyst reading a ranked
+outlier report only looks at the top of the list.  These metrics
+answer the operational question directly: of the ``k`` highest-scored
+elements, how many are true outliers?
+
+Ties at the k-th score are resolved pessimistically against the
+detector (tied elements beyond position ``k`` are excluded), keeping
+the metrics deterministic and not rewarding constant scores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validate(labels, scores, k: int) -> tuple[np.ndarray, np.ndarray]:
+    y = np.asarray(labels).astype(bool).ravel()
+    s = np.asarray(scores, dtype=np.float64).ravel()
+    if y.size != s.size:
+        raise ValueError(f"length mismatch: {y.size} labels vs {s.size} scores")
+    if not 1 <= k <= y.size:
+        raise ValueError(f"k must be in [1, {y.size}], got {k}")
+    return y, s
+
+
+def top_k_indices(scores, k: int) -> np.ndarray:
+    """Positions of the ``k`` highest scores (deterministic: ties broken
+    by position, earlier elements first)."""
+    s = np.asarray(scores, dtype=np.float64).ravel()
+    if not 1 <= k <= s.size:
+        raise ValueError(f"k must be in [1, {s.size}], got {k}")
+    order = np.argsort(-s, kind="stable")
+    return order[:k]
+
+
+def precision_at_k(labels, scores, k: int) -> float:
+    """Fraction of the top-``k`` scored elements that are true outliers."""
+    y, s = _validate(labels, scores, k)
+    return float(y[top_k_indices(s, k)].mean())
+
+
+def recall_at_k(labels, scores, k: int) -> float:
+    """Fraction of all true outliers captured in the top ``k``.
+
+    Returns 0.0 when there are no positive labels (nothing to recall).
+    """
+    y, s = _validate(labels, scores, k)
+    total = int(y.sum())
+    if total == 0:
+        return 0.0
+    return float(y[top_k_indices(s, k)].sum() / total)
+
+
+def precision_at_n_outliers(labels, scores) -> float:
+    """Precision at ``k = (number of true outliers)`` — the 'adjusted
+    precision' convention common in outlier-detection benchmarks (it
+    equals recall at the same cut)."""
+    y = np.asarray(labels).astype(bool).ravel()
+    total = int(y.sum())
+    if total == 0:
+        return 0.0
+    return precision_at_k(labels, scores, total)

@@ -1,0 +1,53 @@
+"""Metric and spatial indexes plus the similarity joins built on them.
+
+The paper's *using-index principle* (Sec. IV-G): every join leverages a
+tree.  Available trees:
+
+- :class:`~repro.index.vptree.VPTree` — default for nondimensional data;
+- :class:`~repro.index.mtree.MTree` / :class:`~repro.index.slimtree.SlimTree`
+  — the metric access methods the paper names [35], [36];
+- :class:`~repro.index.kdtree.KDTree` (pure Python) and
+  :class:`~repro.index.ckdtree.CKDTreeIndex` (scipy fast path) — vectors
+  in main memory;
+- :class:`~repro.index.rtree.RTree` — STR-packed, the disk-based option;
+- :class:`~repro.index.covertree.CoverTree` /
+  :class:`~repro.index.balltree.BallTree` — alternative metric trees for
+  the index ablation;
+- :class:`~repro.index.laesa.LAESAIndex` — pivot-table filtering for
+  expensive metrics (tree edit distance, long strings);
+- :class:`~repro.index.bruteforce.BruteForceIndex` — correctness oracle.
+"""
+
+from repro.index.balltree import BallTree
+from repro.index.base import MetricIndex
+from repro.index.bruteforce import BruteForceIndex
+from repro.index.ckdtree import CKDTreeIndex
+from repro.index.covertree import CoverTree
+from repro.index.factory import available_index_kinds, build_index
+from repro.index.joins import UNKNOWN_COUNT, join_counts, self_join_counts, self_join_pairs
+from repro.index.kdtree import KDTree
+from repro.index.laesa import LAESAIndex
+from repro.index.mtree import MTree
+from repro.index.rtree import RTree
+from repro.index.slimtree import SlimTree
+from repro.index.vptree import VPTree
+
+__all__ = [
+    "MetricIndex",
+    "BruteForceIndex",
+    "VPTree",
+    "KDTree",
+    "CKDTreeIndex",
+    "MTree",
+    "SlimTree",
+    "RTree",
+    "CoverTree",
+    "BallTree",
+    "LAESAIndex",
+    "build_index",
+    "available_index_kinds",
+    "self_join_counts",
+    "join_counts",
+    "self_join_pairs",
+    "UNKNOWN_COUNT",
+]

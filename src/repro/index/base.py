@@ -1,0 +1,87 @@
+"""The MetricIndex protocol shared by every tree in :mod:`repro.index`.
+
+An index covers a subset of a :class:`~repro.metric.base.MetricSpace`
+(identified by element ids) and answers three queries:
+
+- ``count_within(query_ids, radius)`` — per-query neighbor counts, the
+  *count-only principle* of Sec. IV-G (no pair materialization);
+- ``pairs_within(radius)`` — the self-join of Alg. 3 line 12, needed
+  only for the small outlier set;
+- ``diameter_estimate()`` — Alg. 1 line 2, the radius-ladder anchor.
+
+Queries are expressed as element ids of the same space, so a join
+between outliers and inliers (Alg. 4) is just an index on the inlier
+ids queried with the outlier ids.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from repro.metric.base import MetricSpace
+
+
+class MetricIndex(ABC):
+    """Base class for range-count indexes over a MetricSpace subset."""
+
+    def __init__(self, space: MetricSpace, ids: Sequence[int] | np.ndarray | None = None):
+        self.space = space
+        if ids is None:
+            ids = np.arange(len(space), dtype=np.intp)
+        self.ids = np.asarray(ids, dtype=np.intp)
+        if self.ids.size == 0:
+            raise ValueError("cannot build an index over zero elements")
+
+    def __len__(self) -> int:
+        return int(self.ids.size)
+
+    @abstractmethod
+    def count_within(self, query_ids: Sequence[int] | np.ndarray, radius: float) -> np.ndarray:
+        """Number of indexed elements within ``radius`` of each query element.
+
+        Distances are inclusive (``d <= radius``).  A query element that
+        is itself indexed counts itself, matching the paper's
+        "neighbors (+ self)" convention.
+        """
+
+    def pairs_within(self, radius: float) -> list[tuple[int, int]]:
+        """All unordered indexed pairs ``(i, j)``, ``i < j``, within ``radius``.
+
+        Default implementation delegates to per-element range queries;
+        subclasses may override.  Only used on small sets (the outliers),
+        so the default is adequate.
+        """
+        pairs: list[tuple[int, int]] = []
+        ids = self.ids
+        for a in range(ids.size):
+            d = self.space.distances(int(ids[a]), ids[a + 1 :])
+            for off in np.nonzero(d <= radius)[0]:
+                i, j = int(ids[a]), int(ids[a + 1 + off])
+                pairs.append((i, j) if i < j else (j, i))
+        return pairs
+
+    def diameter_estimate(self) -> float:
+        """Estimated diameter of the indexed elements (Alg. 1 line 2).
+
+        Default: the classic two-scan heuristic — from an arbitrary
+        element find the farthest element ``p``, then the farthest from
+        ``p``.  Exact on many shapes and never more than a factor 2 off
+        for metric spaces; subclasses with structure (tree roots,
+        bounding boxes) override with the paper's root-children rule.
+        """
+        ids = self.ids
+        if ids.size == 1:
+            return 0.0
+        d0 = self.space.distances(int(ids[0]), ids)
+        far = int(ids[int(np.argmax(d0))])
+        d1 = self.space.distances(far, ids)
+        return float(d1.max())
+
+
+def chunked(array: np.ndarray, size: int):
+    """Yield consecutive chunks of ``array`` of at most ``size`` rows."""
+    for start in range(0, len(array), size):
+        yield array[start : start + size]

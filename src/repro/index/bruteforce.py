@@ -1,0 +1,33 @@
+"""Brute-force index: the correctness oracle for every other index.
+
+O(n * m) per query batch with no pruning; used for small datasets, in
+tests (every tree must agree with it), and in the index ablation bench.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.index.base import MetricIndex, chunked
+from repro.metric.base import MetricSpace
+
+
+class BruteForceIndex(MetricIndex):
+    """Exhaustive range counting over a MetricSpace subset."""
+
+    _CHUNK = 512  # bounds the temporary distance-matrix footprint
+
+    def __init__(self, space: MetricSpace, ids=None):
+        super().__init__(space, ids)
+
+    def count_within(self, query_ids: Sequence[int] | np.ndarray, radius: float) -> np.ndarray:
+        query_ids = np.asarray(query_ids, dtype=np.intp)
+        counts = np.empty(query_ids.size, dtype=np.intp)
+        pos = 0
+        for chunk in chunked(query_ids, self._CHUNK):
+            dm = self.space.distances_among(chunk, self.ids)
+            counts[pos : pos + len(chunk)] = (dm <= radius).sum(axis=1)
+            pos += len(chunk)
+        return counts

@@ -1,0 +1,103 @@
+"""Similarity joins over metric indexes (Sec. IV-C / IV-G).
+
+Three operations, matching the three joins McCatch issues:
+
+- :func:`self_join_counts` — SELFJOINC of Alg. 2: neighbor counts per
+  point per radius, with the paper's four speed-up principles
+  (sparse-focused, count-only, using-index, small-radii-only);
+- :func:`join_counts` — JOINC of Alg. 4: per-outlier counts of
+  neighboring *inliers* at one radius;
+- :func:`self_join_pairs` — SELFJOIN of Alg. 3: the materialized pair
+  join used to gel the (few) outliers into connected components.
+
+Counts that the sparse-focused principle never computes are reported as
+``UNKNOWN_COUNT`` (-1); plateau analysis treats them as "beyond the
+Maximum Microcluster Cardinality", which is exactly what they are.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.index.base import MetricIndex
+
+UNKNOWN_COUNT = -1
+
+
+def self_join_counts(
+    index: MetricIndex,
+    radii: Sequence[float] | np.ndarray,
+    *,
+    max_cardinality: int | None = None,
+    sparse_focused: bool = True,
+    small_radii_only: bool = True,
+) -> np.ndarray:
+    """Neighbor counts (+ self) for every indexed point at every radius.
+
+    Parameters
+    ----------
+    index:
+        Index over the full dataset.
+    radii:
+        Increasing radii ``r_1 < ... < r_a`` (Alg. 1 line 3).
+    max_cardinality:
+        The Maximum Microcluster Cardinality ``c``.  With
+        ``sparse_focused=True``, a point whose count at radius ``r_{e-1}``
+        already exceeds ``c`` is not queried at later radii — its further
+        counts can only describe clusters too big to be microclusters.
+    small_radii_only:
+        Skip the join at ``r_a`` entirely: ``r_a`` equals the estimated
+        diameter, so every point is (approximately) everyone's neighbor.
+
+    Returns
+    -------
+    counts:
+        ``(n, a)`` int array, ``counts[i, e]`` = neighbors of point
+        ``ids[i]`` within ``radii[e]`` (self included), or
+        ``UNKNOWN_COUNT`` where the sparse-focused principle skipped the
+        computation.
+    """
+    radii = np.asarray(radii, dtype=np.float64)
+    if radii.size < 2:
+        raise ValueError("need at least two radii")
+    if np.any(np.diff(radii) <= 0):
+        raise ValueError("radii must be strictly increasing")
+    n = len(index)
+    a = radii.size
+    counts = np.full((n, a), UNKNOWN_COUNT, dtype=np.int64)
+    positions = np.arange(n)
+    active = positions  # positions (not ids) still being tracked
+    for e in range(a):
+        if small_radii_only and e == a - 1:
+            # Small-radii-only principle: at r_a = l everything is a
+            # neighbor of everything, no join needed.
+            counts[active, e] = n
+            break
+        if active.size == 0:
+            break
+        counts[active, e] = index.count_within(index.ids[active], radii[e])
+        if sparse_focused and max_cardinality is not None:
+            active = active[counts[active, e] <= max_cardinality]
+    return counts
+
+
+def join_counts(
+    inlier_index: MetricIndex, query_ids: Sequence[int] | np.ndarray, radius: float
+) -> np.ndarray:
+    """Count, for each query element, the indexed elements within ``radius``.
+
+    This is the outliers-vs-inliers join of Alg. 4 line 5 (count-only:
+    no pairs are materialized).
+    """
+    return inlier_index.count_within(np.asarray(query_ids, dtype=np.intp), radius)
+
+
+def self_join_pairs(index: MetricIndex, radius: float) -> list[tuple[int, int]]:
+    """Materialized self-join: unordered id pairs within ``radius``.
+
+    Only called on the small outlier set (Alg. 3 line 12), where
+    materializing pairs is cheap.
+    """
+    return index.pairs_within(float(radius))

@@ -1,0 +1,109 @@
+"""Pure-Python KD-tree for main-memory vector data (paper footnote 4).
+
+The paper's implementation menu is "M-trees and Slim-trees for
+non-vector data; R-trees for disk-based vector data, and kd-trees for
+main-memory-based vector data".  This KD-tree supports Euclidean range
+counting with whole-subtree pruning via bounding boxes.  In practice
+the scipy-backed :class:`~repro.index.ckdtree.CKDTreeIndex` is faster
+and is the default; this implementation exists so the library is
+self-contained and the two can be cross-checked in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.index.base import MetricIndex
+from repro.metric.base import MetricSpace
+
+
+class _KDNode:
+    __slots__ = ("axis", "split", "left", "right", "bucket", "lo", "hi", "size")
+
+    def __init__(self):
+        self.axis = -1
+        self.split = 0.0
+        self.left: "_KDNode | None" = None
+        self.right: "_KDNode | None" = None
+        self.bucket: np.ndarray | None = None
+        self.lo: np.ndarray | None = None  # bounding box
+        self.hi: np.ndarray | None = None
+        self.size = 0
+
+
+class KDTree(MetricIndex):
+    """Median-split KD-tree with bounding-box range counting (Euclidean)."""
+
+    def __init__(self, space: MetricSpace, ids=None, *, leaf_size: int = 32):
+        if not space.is_vector:
+            raise TypeError("KDTree requires vector data; use VPTree for metric objects")
+        super().__init__(space, ids)
+        if leaf_size < 1:
+            raise ValueError(f"leaf_size must be >= 1, got {leaf_size}")
+        self.leaf_size = leaf_size
+        self._X = space.data
+        self.root = self._build(self.ids.copy(), depth=0)
+
+    def _build(self, members: np.ndarray, depth: int) -> _KDNode:
+        node = _KDNode()
+        node.size = int(members.size)
+        pts = self._X[members]
+        node.lo = pts.min(axis=0)
+        node.hi = pts.max(axis=0)
+        if members.size <= self.leaf_size or np.all(node.lo == node.hi):
+            node.bucket = members
+            return node
+        spans = node.hi - node.lo
+        node.axis = int(np.argmax(spans))
+        values = pts[:, node.axis]
+        node.split = float(np.median(values))
+        left_mask = values <= node.split
+        if left_mask.all() or not left_mask.any():
+            # All values equal to the median on this axis: split by rank.
+            order = np.argsort(values, kind="stable")
+            half = members.size // 2
+            left, right = members[order[:half]], members[order[half:]]
+        else:
+            left, right = members[left_mask], members[~left_mask]
+        node.left = self._build(left, depth + 1)
+        node.right = self._build(right, depth + 1)
+        return node
+
+    # -- queries ----------------------------------------------------------
+
+    def count_within(self, query_ids: Sequence[int] | np.ndarray, radius: float) -> np.ndarray:
+        query_ids = np.asarray(query_ids, dtype=np.intp)
+        r2 = radius * radius
+        return np.array(
+            [self._count_one(self._X[int(q)], radius, r2) for q in query_ids], dtype=np.intp
+        )
+
+    def _count_one(self, q: np.ndarray, radius: float, r2: float) -> int:
+        total = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            # Min / max squared distance from q to the bounding box.
+            below = np.maximum(node.lo - q, 0.0)
+            above = np.maximum(q - node.hi, 0.0)
+            min_d2 = float(np.sum(np.maximum(below, above) ** 2))
+            if min_d2 > r2:
+                continue
+            far = np.maximum(np.abs(q - node.lo), np.abs(q - node.hi))
+            max_d2 = float(np.sum(far**2))
+            if max_d2 <= r2:
+                total += node.size
+                continue
+            if node.bucket is not None:
+                diff = self._X[node.bucket] - q
+                total += int((np.einsum("ij,ij->i", diff, diff) <= r2).sum())
+                continue
+            stack.append(node.left)
+            stack.append(node.right)
+        return total
+
+    def diameter_estimate(self) -> float:
+        """Bounding-box diagonal — an upper bound tight for box-filling data."""
+        return float(np.linalg.norm(self.root.hi - self.root.lo))

@@ -1,0 +1,268 @@
+"""M-tree: a dynamic, balanced metric access method (Ciaccia et al. [36]).
+
+The paper's Alg. 1 builds "a tree T for P, like a Slim-tree, M-tree, or
+R-tree".  This module implements the classic M-tree: routing entries
+carry a pivot, a covering radius, and the distance to their parent
+pivot, which lets range queries prune with two triangle-inequality
+tests before computing any distance.  Subtree sizes are maintained so a
+query ball that swallows a routing ball is counted in O(1) — the
+count-only principle again.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.index.base import MetricIndex
+from repro.metric.base import MetricSpace
+
+
+class _Entry:
+    """Routing or leaf entry.
+
+    Leaf entries have ``subtree is None`` and ``radius == 0``; routing
+    entries point at a child node whose members all lie within
+    ``radius`` of ``pivot_id``.
+    """
+
+    __slots__ = ("pivot_id", "radius", "d_parent", "subtree", "size")
+
+    def __init__(self, pivot_id: int, radius: float = 0.0, subtree: "_Node | None" = None):
+        self.pivot_id = pivot_id
+        self.radius = radius
+        self.d_parent = 0.0
+        self.subtree = subtree
+        self.size = 1 if subtree is None else subtree.size()
+
+
+class _Node:
+    __slots__ = ("is_leaf", "entries")
+
+    def __init__(self, is_leaf: bool):
+        self.is_leaf = is_leaf
+        self.entries: list[_Entry] = []
+
+    def size(self) -> int:
+        return sum(e.size for e in self.entries)
+
+
+class MTree(MetricIndex):
+    """M-tree with hyperplane split and min-max-radius promotion.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum entries per node before a split (>= 4).
+    """
+
+    def __init__(self, space: MetricSpace, ids=None, *, capacity: int = 16):
+        if capacity < 4:
+            raise ValueError(f"capacity must be >= 4, got {capacity}")
+        super().__init__(space, ids)
+        self.capacity = capacity
+        self.root = _Node(is_leaf=True)
+        self._distance_calls = 0
+        for i in self.ids:
+            self._insert(int(i))
+
+    # -- distances --------------------------------------------------------
+
+    def _d(self, i: int, j: int) -> float:
+        self._distance_calls += 1
+        return self.space.distance(i, j)
+
+    # -- insertion ----------------------------------------------------------
+
+    def _insert(self, obj: int) -> None:
+        path: list[tuple[_Node, _Entry | None]] = []
+        node = self.root
+        parent_entry: _Entry | None = None
+        while not node.is_leaf:
+            path.append((node, parent_entry))
+            best = self._choose_subtree(node, obj)
+            d = self._d(obj, best.pivot_id)
+            if d > best.radius:
+                best.radius = d  # enlarge covering radius on the way down
+            best.size += 1
+            parent_entry = best
+            node = best.subtree  # type: ignore[assignment]
+        entry = _Entry(obj)
+        if parent_entry is not None:
+            entry.d_parent = self._d(obj, parent_entry.pivot_id)
+        node.entries.append(entry)
+        if len(node.entries) > self.capacity:
+            self._split(node, path, parent_entry)
+
+    def _choose_subtree(self, node: _Node, obj: int) -> _Entry:
+        """M-tree heuristic: prefer a covering entry at minimum distance,
+        otherwise the entry needing the least radius enlargement."""
+        best: _Entry | None = None
+        best_key = (1, np.inf)  # (0 if covering else 1, distance or enlargement)
+        for entry in node.entries:
+            d = self._d(obj, entry.pivot_id)
+            key = (0, d) if d <= entry.radius else (1, d - entry.radius)
+            if key < best_key:
+                best_key = key
+                best = entry
+        assert best is not None
+        return best
+
+    # -- splitting ----------------------------------------------------------
+
+    def _promote(self, entries: list[_Entry]) -> tuple[int, int]:
+        """Pick two pivots.  Sampled mM_RAD: among candidate pairs, take
+        the one minimizing the larger covering radius."""
+        m = len(entries)
+        candidates: list[tuple[int, int]] = []
+        limit = min(m, 8)
+        for a in range(limit):
+            for b in range(a + 1, limit):
+                candidates.append((a, b))
+        best_pair = candidates[0]
+        best_score = np.inf
+        for a, b in candidates:
+            pa, pb = entries[a].pivot_id, entries[b].pivot_id
+            ra = rb = 0.0
+            for e in entries:
+                da = self._d(e.pivot_id, pa) + e.radius
+                db = self._d(e.pivot_id, pb) + e.radius
+                if da <= db:
+                    ra = max(ra, da)
+                else:
+                    rb = max(rb, db)
+            score = max(ra, rb)
+            if score < best_score:
+                best_score = score
+                best_pair = (a, b)
+        return best_pair
+
+    def _partition(
+        self, entries: list[_Entry], pa: int, pb: int
+    ) -> tuple[list[_Entry], list[_Entry], float, float]:
+        """Generalized-hyperplane partition around the two pivots."""
+        left: list[_Entry] = []
+        right: list[_Entry] = []
+        ra = rb = 0.0
+        for e in entries:
+            da = self._d(e.pivot_id, pa)
+            db = self._d(e.pivot_id, pb)
+            if (da, 0) <= (db, 1):
+                e.d_parent = da
+                left.append(e)
+                ra = max(ra, da + e.radius)
+            else:
+                e.d_parent = db
+                right.append(e)
+                rb = max(rb, db + e.radius)
+        return left, right, ra, rb
+
+    def _split(
+        self,
+        node: _Node,
+        path: list[tuple[_Node, _Entry | None]],
+        node_entry: _Entry | None,
+    ) -> None:
+        entries = node.entries
+        ia, ib = self._promote(entries)
+        pa, pb = entries[ia].pivot_id, entries[ib].pivot_id
+        left, right, ra, rb = self._partition(entries, pa, pb)
+        if not left or not right:
+            # Heavy duplicates can promote two zero-distance pivots, making
+            # the hyperplane partition one-sided; an empty *internal* node
+            # would later break subtree choice.  Fall back to a balanced
+            # split by distance to pa (ties broken by list order).
+            by_da = sorted(entries, key=lambda e: self._d(e.pivot_id, pa))
+            half = len(by_da) // 2
+            left, right = by_da[:half], by_da[half:]
+            pb = right[0].pivot_id
+            ra = rb = 0.0
+            for e in left:
+                e.d_parent = self._d(e.pivot_id, pa)
+                ra = max(ra, e.d_parent + e.radius)
+            for e in right:
+                e.d_parent = self._d(e.pivot_id, pb)
+                rb = max(rb, e.d_parent + e.radius)
+        left_node = _Node(node.is_leaf)
+        left_node.entries = left
+        right_node = _Node(node.is_leaf)
+        right_node.entries = right
+        ea = _Entry(pa, ra, left_node)
+        eb = _Entry(pb, rb, right_node)
+
+        if not path:
+            # Node was the root: grow the tree by one level.
+            new_root = _Node(is_leaf=False)
+            new_root.entries = [ea, eb]
+            self.root = new_root
+            return
+        parent, grand_entry = path[-1]
+        assert node_entry is not None
+        parent.entries.remove(node_entry)
+        if grand_entry is not None:
+            ea.d_parent = self._d(pa, grand_entry.pivot_id)
+            eb.d_parent = self._d(pb, grand_entry.pivot_id)
+        parent.entries.extend([ea, eb])
+        if len(parent.entries) > self.capacity:
+            self._split(parent, path[:-1], grand_entry)
+
+    # -- queries ----------------------------------------------------------
+
+    def count_within(self, query_ids: Sequence[int] | np.ndarray, radius: float) -> np.ndarray:
+        query_ids = np.asarray(query_ids, dtype=np.intp)
+        return np.array(
+            [self._count_one(int(q), float(radius)) for q in query_ids], dtype=np.intp
+        )
+
+    def _count_one(self, q: int, r: float) -> int:
+        total = 0
+        # Stack holds (node, distance from q to the node's parent pivot or None).
+        stack: list[tuple[_Node, float | None]] = [(self.root, None)]
+        while stack:
+            node, d_qp = stack.pop()
+            for e in node.entries:
+                if d_qp is not None and abs(d_qp - e.d_parent) > r + e.radius:
+                    continue  # pruned without computing a distance
+                d = self._d(q, e.pivot_id)
+                if e.subtree is None:
+                    if d <= r:
+                        total += 1
+                    continue
+                if d + e.radius <= r:
+                    total += e.size  # whole ball inside the query
+                elif d - e.radius <= r:
+                    stack.append((e.subtree, d))
+        return total
+
+    def diameter_estimate(self) -> float:
+        """Alg. 1 line 2: max distance between direct successors of the root.
+
+        Child balls centred at pivot ``p_i`` with radius ``r_i`` bound
+        the member span, so the estimate is
+        ``max_{i<j} d(p_i, p_j) + r_i + r_j`` (exact when leaves hang
+        directly off the root).
+        """
+        entries = self.root.entries
+        if len(entries) == 1:
+            return 2.0 * entries[0].radius
+        best = 0.0
+        for a in range(len(entries)):
+            for b in range(a + 1, len(entries)):
+                ea, eb = entries[a], entries[b]
+                d = self._d(ea.pivot_id, eb.pivot_id) + ea.radius + eb.radius
+                best = max(best, d)
+        return best
+
+    @property
+    def distance_calls(self) -> int:
+        """Number of metric evaluations so far (for the ablation bench)."""
+        return self._distance_calls
+
+    def height(self) -> int:
+        """Tree height in levels (root = 1)."""
+        h, node = 1, self.root
+        while not node.is_leaf:
+            h += 1
+            node = node.entries[0].subtree  # type: ignore[assignment]
+        return h

@@ -1,0 +1,131 @@
+"""STR-packed R-tree for vector data (paper footnote 4's disk-based option).
+
+Bulk-loaded with Sort-Tile-Recursive packing: points are sorted and
+tiled dimension by dimension so sibling rectangles barely overlap.
+Range counting against a ball query prunes with min/max distances from
+the query to each minimum bounding rectangle, and counts whole subtrees
+whose MBR lies inside the ball.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.index.base import MetricIndex
+from repro.metric.base import MetricSpace
+
+
+class _RNode:
+    __slots__ = ("lo", "hi", "children", "bucket", "size")
+
+    def __init__(self):
+        self.lo: np.ndarray | None = None
+        self.hi: np.ndarray | None = None
+        self.children: list["_RNode"] = []
+        self.bucket: np.ndarray | None = None
+        self.size = 0
+
+
+class RTree(MetricIndex):
+    """Sort-Tile-Recursive bulk-loaded R-tree (Euclidean range counts)."""
+
+    def __init__(self, space: MetricSpace, ids=None, *, capacity: int = 32):
+        if not space.is_vector:
+            raise TypeError("RTree requires vector data")
+        if capacity < 2:
+            raise ValueError(f"capacity must be >= 2, got {capacity}")
+        super().__init__(space, ids)
+        self.capacity = capacity
+        self._X = space.data
+        leaves = self._pack_leaves(self.ids.copy())
+        self.root = self._pack_upward(leaves)
+
+    # -- bulk loading ------------------------------------------------------
+
+    def _pack_leaves(self, members: np.ndarray) -> list[_RNode]:
+        dim = self._X.shape[1]
+        groups = self._str_tile(members, axis=0, dims=dim, leaf_capacity=self.capacity)
+        leaves = []
+        for group in groups:
+            node = _RNode()
+            node.bucket = group
+            node.size = int(group.size)
+            pts = self._X[group]
+            node.lo, node.hi = pts.min(axis=0), pts.max(axis=0)
+            leaves.append(node)
+        return leaves
+
+    def _str_tile(
+        self, members: np.ndarray, axis: int, dims: int, leaf_capacity: int
+    ) -> list[np.ndarray]:
+        """Recursively sort-and-tile ``members`` into capacity-sized runs."""
+        if members.size <= leaf_capacity:
+            return [members]
+        order = np.argsort(self._X[members, axis % dims], kind="stable")
+        members = members[order]
+        n_groups = math.ceil(members.size / leaf_capacity)
+        # Number of slabs along this axis per STR: ceil(n_groups^(1/remaining)).
+        remaining = dims - (axis % dims)
+        slabs = max(1, math.ceil(n_groups ** (1.0 / max(1, remaining))))
+        slab_size = math.ceil(members.size / slabs)
+        out: list[np.ndarray] = []
+        for start in range(0, members.size, slab_size):
+            slab = members[start : start + slab_size]
+            if axis % dims == dims - 1 or slab.size <= leaf_capacity:
+                for s in range(0, slab.size, leaf_capacity):
+                    out.append(slab[s : s + leaf_capacity])
+            else:
+                out.extend(self._str_tile(slab, axis + 1, dims, leaf_capacity))
+        return out
+
+    def _pack_upward(self, nodes: list[_RNode]) -> _RNode:
+        while len(nodes) > 1:
+            # Order parents by their centers along the first axis for locality.
+            centers = np.array([(n.lo[0] + n.hi[0]) / 2.0 for n in nodes])
+            nodes = [nodes[i] for i in np.argsort(centers, kind="stable")]
+            parents: list[_RNode] = []
+            for start in range(0, len(nodes), self.capacity):
+                group = nodes[start : start + self.capacity]
+                parent = _RNode()
+                parent.children = group
+                parent.size = sum(g.size for g in group)
+                parent.lo = np.min([g.lo for g in group], axis=0)
+                parent.hi = np.max([g.hi for g in group], axis=0)
+                parents.append(parent)
+            nodes = parents
+        return nodes[0]
+
+    # -- queries ----------------------------------------------------------
+
+    def count_within(self, query_ids: Sequence[int] | np.ndarray, radius: float) -> np.ndarray:
+        query_ids = np.asarray(query_ids, dtype=np.intp)
+        r2 = float(radius) ** 2
+        return np.array(
+            [self._count_one(self._X[int(q)], r2) for q in query_ids], dtype=np.intp
+        )
+
+    def _count_one(self, q: np.ndarray, r2: float) -> int:
+        total = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            below = np.maximum(node.lo - q, 0.0)
+            above = np.maximum(q - node.hi, 0.0)
+            if float(np.sum(np.maximum(below, above) ** 2)) > r2:
+                continue
+            far = np.maximum(np.abs(q - node.lo), np.abs(q - node.hi))
+            if float(np.sum(far**2)) <= r2:
+                total += node.size
+                continue
+            if node.bucket is not None:
+                diff = self._X[node.bucket] - q
+                total += int((np.einsum("ij,ij->i", diff, diff) <= r2).sum())
+            else:
+                stack.extend(node.children)
+        return total
+
+    def diameter_estimate(self) -> float:
+        return float(np.linalg.norm(self.root.hi - self.root.lo))

@@ -1,0 +1,205 @@
+"""Slim-tree: an M-tree with the MST split and Slim-down (Traina et al. [35]).
+
+The Slim-tree improves on the M-tree in two ways, both implemented
+here:
+
+- **minSpanTree split**: instead of a hyperplane partition around two
+  promoted pivots, build the minimum spanning tree over the
+  overflowing entries and drop its longest edge; the two components
+  become the new nodes.  This minimizes covering-ball overlap, the
+  quantity the Slim-tree's "fat-factor" measures.
+- **Slim-down**: a post-construction pass that migrates leaf entries
+  lying on the border of one ball into a sibling ball that also covers
+  them and is fuller, shrinking covering radii.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.index.mtree import MTree, _Entry, _Node
+
+
+class SlimTree(MTree):
+    """M-tree subclass with MST-based splits and optional slim-down."""
+
+    def __init__(self, space, ids=None, *, capacity: int = 16, slim_down: bool = True):
+        super().__init__(space, ids, capacity=capacity)
+        if slim_down:
+            self.slim_down()
+
+    # -- MST split ----------------------------------------------------------
+
+    def _split_groups(self, entries: list[_Entry]) -> tuple[list[int], list[int]]:
+        """Partition entry indices by removing the longest MST edge."""
+        m = len(entries)
+        dm = np.empty((m, m), dtype=np.float64)
+        for a in range(m):
+            dm[a, a] = 0.0
+            for b in range(a + 1, m):
+                d = self._d(entries[a].pivot_id, entries[b].pivot_id)
+                dm[a, b] = dm[b, a] = d
+        # Prim's algorithm, recording the edges as they are added.
+        in_tree = np.zeros(m, dtype=bool)
+        in_tree[0] = True
+        best_d = dm[0].copy()
+        best_from = np.zeros(m, dtype=np.intp)
+        edges: list[tuple[float, int, int]] = []
+        for _ in range(m - 1):
+            cand = np.where(~in_tree, best_d, np.inf)
+            nxt = int(np.argmin(cand))
+            edges.append((float(best_d[nxt]), int(best_from[nxt]), nxt))
+            in_tree[nxt] = True
+            improved = dm[nxt] < best_d
+            best_d = np.where(improved, dm[nxt], best_d)
+            best_from = np.where(improved, nxt, best_from)
+        # Remove the longest edge and collect the two components.
+        edges.sort()
+        longest = edges[-1]
+        adjacency: dict[int, list[int]] = {i: [] for i in range(m)}
+        for _, u, v in edges[:-1]:
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+        seen = {longest[1]}
+        stack = [longest[1]]
+        while stack:
+            u = stack.pop()
+            for v in adjacency[u]:
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        group_a = sorted(seen)
+        group_b = [i for i in range(m) if i not in seen]
+        if not group_b:  # longest-edge tie degenerated; force a balanced cut
+            group_b = [group_a.pop()]
+        return group_a, group_b
+
+    def _split(self, node: _Node, path, node_entry) -> None:
+        entries = node.entries
+        group_a, group_b = self._split_groups(entries)
+
+        def make_node(group: list[int]) -> tuple[_Entry, _Node]:
+            members = [entries[i] for i in group]
+            # Representative: the member minimizing the resulting radius.
+            best_pivot, best_radius = members[0].pivot_id, np.inf
+            for cand in members:
+                radius = 0.0
+                for e in members:
+                    radius = max(radius, self._d(e.pivot_id, cand.pivot_id) + e.radius)
+                if radius < best_radius:
+                    best_radius = radius
+                    best_pivot = cand.pivot_id
+            child = _Node(node.is_leaf)
+            child.entries = members
+            for e in members:
+                e.d_parent = self._d(e.pivot_id, best_pivot)
+            return _Entry(best_pivot, float(best_radius), child), child
+
+        ea, _ = make_node(group_a)
+        eb, _ = make_node(group_b)
+
+        if not path:
+            new_root = _Node(is_leaf=False)
+            new_root.entries = [ea, eb]
+            self.root = new_root
+            return
+        parent, grand_entry = path[-1]
+        assert node_entry is not None
+        parent.entries.remove(node_entry)
+        if grand_entry is not None:
+            ea.d_parent = self._d(ea.pivot_id, grand_entry.pivot_id)
+            eb.d_parent = self._d(eb.pivot_id, grand_entry.pivot_id)
+        parent.entries.extend([ea, eb])
+        if len(parent.entries) > self.capacity:
+            self._split(parent, path[:-1], grand_entry)
+
+    # -- slim-down ----------------------------------------------------------
+
+    def slim_down(self, max_rounds: int = 3) -> int:
+        """Migrate border leaf entries into covering siblings; returns moves.
+
+        For each pair of sibling leaves (A, B): a farthest entry of A
+        that also fits inside B's covering ball (without enlarging it)
+        moves to B, after which A's radius can shrink.  Repeats until a
+        round makes no move or ``max_rounds`` is hit.
+        """
+        moves = 0
+        for _ in range(max_rounds):
+            moved = self._slim_down_pass(self.root)
+            moves += moved
+            if moved == 0:
+                break
+        return moves
+
+    def _slim_down_pass(self, node: _Node) -> int:
+        if node.is_leaf:
+            return 0
+        moved = 0
+        children = node.entries
+        if children and children[0].subtree is not None and children[0].subtree.is_leaf:
+            for ea in children:
+                leaf_a = ea.subtree
+                if leaf_a is None or not leaf_a.entries or len(leaf_a.entries) <= 1:
+                    continue
+                # Farthest member of A from its pivot.
+                far = max(leaf_a.entries, key=lambda e: e.d_parent)
+                if far.d_parent < ea.radius:
+                    continue  # not on the border
+                for eb in children:
+                    if eb is ea or eb.subtree is None:
+                        continue
+                    if len(eb.subtree.entries) >= self.capacity:
+                        continue
+                    d = self._d(far.pivot_id, eb.pivot_id)
+                    if d <= eb.radius and len(eb.subtree.entries) >= len(leaf_a.entries):
+                        leaf_a.entries.remove(far)
+                        far.d_parent = d
+                        eb.subtree.entries.append(far)
+                        ea.size -= 1
+                        eb.size += 1
+                        ea.radius = max(
+                            (e.d_parent for e in leaf_a.entries), default=0.0
+                        )
+                        moved += 1
+                        break
+        else:
+            for e in children:
+                if e.subtree is not None:
+                    moved += self._slim_down_pass(e.subtree)
+        return moved
+
+    def fat_factor(self) -> float:
+        """Fraction of extra node accesses caused by ball overlap, in [0, 1].
+
+        Point queries at every indexed element count how many leaf-path
+        nodes would be visited; 0 means disjoint balls (ideal), 1 means
+        every query touches every node.
+        """
+        n = len(self.ids)
+        h = self.height()
+        node_count = self._count_nodes(self.root)
+        if node_count <= h:
+            return 0.0
+        total_accesses = 0
+        for i in self.ids:
+            total_accesses += self._point_query_accesses(int(i))
+        denom = n * (node_count - h)
+        return max(0.0, (total_accesses - h * n) / denom)
+
+    def _count_nodes(self, node: _Node) -> int:
+        if node.is_leaf:
+            return 1
+        return 1 + sum(self._count_nodes(e.subtree) for e in node.entries if e.subtree)
+
+    def _point_query_accesses(self, q: int) -> int:
+        accesses = 0
+        stack: list[_Node] = [self.root]
+        while stack:
+            node = stack.pop()
+            accesses += 1
+            if node.is_leaf:
+                continue
+            for e in node.entries:
+                if e.subtree is not None and self._d(q, e.pivot_id) <= e.radius:
+                    stack.append(e.subtree)
+        return accesses

@@ -1,0 +1,37 @@
+"""Dataset loading and result serialization.
+
+- :mod:`repro.io.loaders` — CSV/JSON-lines readers and writers for
+  vector datasets (with optional label column) and object datasets
+  (strings, token sequences);
+- :mod:`repro.io.results` — round-trippable JSON serialization of
+  :class:`~repro.core.result.McCatchResult` plus a Markdown summary,
+  so a detection run can be archived, diffed, and rendered.
+"""
+
+from repro.io.loaders import (
+    load_labeled_csv,
+    load_strings,
+    load_vectors_csv,
+    save_strings,
+    save_vectors_csv,
+)
+from repro.io.results import (
+    load_result_json,
+    result_from_dict,
+    result_to_dict,
+    result_to_markdown,
+    save_result_json,
+)
+
+__all__ = [
+    "load_vectors_csv",
+    "save_vectors_csv",
+    "load_labeled_csv",
+    "load_strings",
+    "save_strings",
+    "result_to_dict",
+    "result_from_dict",
+    "save_result_json",
+    "load_result_json",
+    "result_to_markdown",
+]

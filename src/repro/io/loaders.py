@@ -1,0 +1,144 @@
+"""Plain-text dataset IO: CSV for vectors, line files for objects.
+
+Deliberately boring formats — every file this module writes can be
+opened in a spreadsheet or a pager.  The readers validate shape and
+numeric content so that malformed files fail at load time with a clear
+message rather than deep inside a join.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+
+def load_vectors_csv(path, *, delimiter: str = ",", skip_header: bool | None = None) -> np.ndarray:
+    """Load a numeric (n, d) matrix from a CSV file.
+
+    ``skip_header=None`` auto-detects: if the first row fails to parse
+    as floats it is treated as a header.
+    """
+    path = Path(path)
+    with path.open(newline="") as fh:
+        rows = [row for row in csv.reader(fh, delimiter=delimiter) if row]
+    if not rows:
+        raise ValueError(f"{path}: no data rows")
+    start = 0
+    if skip_header or (skip_header is None and not _parses_as_floats(rows[0])):
+        start = 1
+    if start >= len(rows):
+        raise ValueError(f"{path}: header only, no data rows")
+    width = len(rows[start])
+    data = np.empty((len(rows) - start, width), dtype=np.float64)
+    for r, row in enumerate(rows[start:], start=start):
+        if len(row) != width:
+            raise ValueError(
+                f"{path}: row {r + 1} has {len(row)} fields, expected {width}"
+            )
+        try:
+            data[r - start] = [float(v) for v in row]
+        except ValueError as exc:
+            raise ValueError(f"{path}: row {r + 1} is not numeric: {exc}") from None
+    return data
+
+
+def save_vectors_csv(path, X, *, header: list[str] | None = None, delimiter: str = ",") -> Path:
+    """Write a numeric matrix as CSV; returns the path."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError(f"expected a 2-d matrix, got shape {X.shape}")
+    if header is not None and len(header) != X.shape[1]:
+        raise ValueError(f"header has {len(header)} names for {X.shape[1]} columns")
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh, delimiter=delimiter)
+        if header is not None:
+            writer.writerow(header)
+        for row in X:
+            writer.writerow([repr(float(v)) for v in row])
+    return path
+
+
+def load_labeled_csv(
+    path, *, label_column: int = -1, delimiter: str = ","
+) -> tuple[np.ndarray, np.ndarray]:
+    """Load features X and a boolean outlier-label column y from CSV.
+
+    The label column accepts 0/1, true/false, yes/no, inlier/outlier
+    (case-insensitive).  Returns ``(X, y)`` with the label column
+    removed from X.  A non-parsing first row is treated as a header.
+    """
+    path = Path(path)
+    with path.open(newline="") as fh:
+        rows = [row for row in csv.reader(fh, delimiter=delimiter) if row]
+    if not rows:
+        raise ValueError(f"{path}: no data rows")
+    start = 0 if _parses_as_floats_or_labels(rows[0]) else 1
+    if start >= len(rows):
+        raise ValueError(f"{path}: header only, no data rows")
+    labels, features = [], []
+    for r, row in enumerate(rows[start:], start=start):
+        labels.append(_parse_label(row[label_column], path, r))
+        kept = list(row)
+        del kept[label_column]
+        try:
+            features.append([float(v) for v in kept])
+        except ValueError as exc:
+            raise ValueError(f"{path}: row {r + 1} is not numeric: {exc}") from None
+    return np.asarray(features, dtype=np.float64), np.asarray(labels, dtype=bool)
+
+
+def load_strings(path, *, encoding: str = "utf-8") -> list[str]:
+    """Load one string per line (trailing newline stripped, blank lines
+    and ``#`` comments skipped) — the Last Names format."""
+    out = []
+    with Path(path).open(encoding=encoding) as fh:
+        for line in fh:
+            line = line.rstrip("\n")
+            if line and not line.startswith("#"):
+                out.append(line)
+    if not out:
+        raise ValueError(f"{path}: no strings found")
+    return out
+
+
+def save_strings(path, strings, *, encoding: str = "utf-8") -> Path:
+    """Write one string per line; rejects embedded newlines."""
+    path = Path(path)
+    with path.open("w", encoding=encoding) as fh:
+        for s in strings:
+            if "\n" in s:
+                raise ValueError(f"string contains a newline: {s!r}")
+            fh.write(s + "\n")
+    return path
+
+
+# -- helpers -----------------------------------------------------------------
+
+_TRUE = {"1", "1.0", "true", "yes", "y", "outlier"}
+_FALSE = {"0", "0.0", "false", "no", "n", "inlier"}
+
+
+def _parse_label(value: str, path: Path, row: int) -> bool:
+    v = value.strip().lower()
+    if v in _TRUE:
+        return True
+    if v in _FALSE:
+        return False
+    raise ValueError(f"{path}: row {row + 1}: cannot parse label {value!r}")
+
+
+def _parses_as_floats(row: list[str]) -> bool:
+    try:
+        [float(v) for v in row]
+        return True
+    except ValueError:
+        return False
+
+
+def _parses_as_floats_or_labels(row: list[str]) -> bool:
+    return all(
+        _parses_as_floats([v]) or v.strip().lower() in (_TRUE | _FALSE) for v in row
+    )

@@ -1,0 +1,90 @@
+"""Metric spaces: distance functions over vectors, strings, and trees.
+
+McCatch only ever touches the data through a distance function (goal
+G1, *General Input*).  This subpackage provides:
+
+- :class:`~repro.metric.base.MetricSpace` — the pairing of a dataset
+  with a distance function, plus bulk-distance helpers used by the
+  indexes and joins;
+- vector metrics (:mod:`repro.metric.vector`): Euclidean and the other
+  L_p norms;
+- the Levenshtein edit distance for strings
+  (:mod:`repro.metric.strings`), used for the Last Names and
+  Fingerprints experiments;
+- the Zhang–Shasha tree edit distance (:mod:`repro.metric.trees`), used
+  for the Skeletons experiment;
+- sequence metrics (:mod:`repro.metric.sequences`): token edit
+  distance, LCS, Hamming, ERP (a metric DTW alternative), and DTW;
+- set metrics (:mod:`repro.metric.sets`): Jaccard, symmetric
+  difference, weighted Jaccard, n-gram profiles;
+- the correlation fractal dimension estimator
+  (:mod:`repro.metric.fractal`) behind Lemma 1 and Table III;
+- the per-space *Transformation Cost* ``t`` of Definition 7
+  (:mod:`repro.metric.transformation`).
+"""
+
+from repro.metric.base import MetricSpace, PrecomputedMetric, pairwise_distances
+from repro.metric.fractal import correlation_dimension, correlation_integral
+from repro.metric.instrumentation import CountingMetricSpace, DistanceCounter
+from repro.metric.sequences import (
+    dtw,
+    erp,
+    hamming,
+    lcs_distance,
+    sequence_edit_distance,
+    transformation_cost_for_sequences,
+)
+from repro.metric.sets import (
+    jaccard_distance,
+    ngram_jaccard,
+    ngram_profile,
+    symmetric_difference_distance,
+    weighted_jaccard_distance,
+)
+from repro.metric.strings import damerau_levenshtein, levenshtein, soundex, soundex_distance
+from repro.metric.transformation import (
+    transformation_cost_for_strings,
+    transformation_cost_for_vectors,
+)
+from repro.metric.trees import LabeledTree, tree_edit_distance
+from repro.metric.vector import (
+    chebyshev,
+    cityblock,
+    euclidean,
+    minkowski,
+    vector_metric,
+)
+
+__all__ = [
+    "MetricSpace",
+    "PrecomputedMetric",
+    "CountingMetricSpace",
+    "DistanceCounter",
+    "pairwise_distances",
+    "correlation_dimension",
+    "correlation_integral",
+    "levenshtein",
+    "damerau_levenshtein",
+    "soundex",
+    "soundex_distance",
+    "LabeledTree",
+    "tree_edit_distance",
+    "hamming",
+    "sequence_edit_distance",
+    "lcs_distance",
+    "erp",
+    "dtw",
+    "transformation_cost_for_sequences",
+    "jaccard_distance",
+    "symmetric_difference_distance",
+    "weighted_jaccard_distance",
+    "ngram_profile",
+    "ngram_jaccard",
+    "euclidean",
+    "cityblock",
+    "chebyshev",
+    "minkowski",
+    "vector_metric",
+    "transformation_cost_for_vectors",
+    "transformation_cost_for_strings",
+]

@@ -1,0 +1,171 @@
+"""MetricSpace: a dataset paired with its distance function.
+
+Everything downstream of the public API (indexes, joins, the McCatch
+core) works against a :class:`MetricSpace` rather than raw arrays, so
+vector and nondimensional data flow through identical code paths — the
+only difference is which bulk-distance implementation backs the space.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.metric.vector import VectorMetric, euclidean, vector_metric
+
+
+def pairwise_distances(data, metric: Callable) -> np.ndarray:
+    """Full symmetric distance matrix; convenience for small datasets."""
+    space = MetricSpace(data, metric)
+    return space.distance_matrix()
+
+
+class MetricSpace:
+    """A dataset of ``n`` elements plus a distance function.
+
+    Parameters
+    ----------
+    data:
+        Either a 2-d float array (vector data) or a sequence of
+        arbitrary objects (strings, trees, ...).
+    metric:
+        For vector data: a :class:`VectorMetric`, a metric name, or
+        ``None`` (Euclidean).  For object data: a callable
+        ``f(a, b) -> float`` satisfying the metric axioms.
+
+    Notes
+    -----
+    Indexes only call :meth:`distances` / :meth:`distances_among`; the
+    vector fast path uses NumPy broadcasting while the object path loops
+    in Python, which is the honest cost of a user-supplied metric.
+    """
+
+    def __init__(self, data, metric=None):
+        if isinstance(data, np.ndarray) and np.issubdtype(data.dtype, np.number):
+            arr = np.asarray(data, dtype=np.float64)
+            if arr.ndim == 1:
+                arr = arr.reshape(-1, 1)
+            if arr.ndim != 2:
+                raise ValueError(f"vector data must be 2-d, got shape {arr.shape}")
+            self.data = arr
+            self.is_vector = True
+            self._vm: VectorMetric | None = (
+                euclidean if metric is None else vector_metric(metric)
+            )
+            self.metric: Callable = self._vm
+        else:
+            if metric is None:
+                raise ValueError("nondimensional data requires an explicit metric callable")
+            if not callable(metric):
+                raise TypeError("metric must be callable for nondimensional data")
+            self.data = list(data)
+            self.is_vector = False
+            self._vm = None
+            self.metric = metric
+        if len(self) == 0:
+            raise ValueError("MetricSpace requires at least one element")
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @property
+    def dimensionality(self) -> int | None:
+        """Embedding dimensionality for vector data, else ``None``."""
+        return int(self.data.shape[1]) if self.is_vector else None
+
+    def __getitem__(self, i: int):
+        return self.data[i]
+
+    # -- bulk distances -------------------------------------------------
+
+    def distance(self, i: int, j: int) -> float:
+        """Distance between elements ``i`` and ``j``.
+
+        For vector data this routes through the same bulk implementation
+        as :meth:`distances`, so scalar and bulk evaluations are
+        bit-identical — indexes compare distances against shared radius
+        boundaries, and a last-ulp disagreement between two code paths
+        would make trees disagree with the brute-force oracle at exact
+        boundary radii.
+        """
+        if self.is_vector:
+            return float(self._vm.bulk(self.data[i][None, :], self.data[j][None, :])[0, 0])
+        return float(self.metric(self.data[i], self.data[j]))
+
+    def distances(self, query_index: int, indices: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Distances from element ``query_index`` to each element in ``indices``."""
+        idx = np.asarray(indices, dtype=np.intp)
+        if self.is_vector:
+            return self._vm.bulk(self.data[query_index][None, :], self.data[idx])[0]
+        q = self.data[query_index]
+        return np.array([self.metric(q, self.data[j]) for j in idx], dtype=np.float64)
+
+    def distances_to(self, obj, indices: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Distances from an out-of-dataset object to elements in ``indices``."""
+        idx = np.asarray(indices, dtype=np.intp)
+        if self.is_vector:
+            q = np.asarray(obj, dtype=np.float64)
+            return self._vm.bulk(q[None, :], self.data[idx])[0]
+        return np.array([self.metric(obj, self.data[j]) for j in idx], dtype=np.float64)
+
+    def distances_among(
+        self, left: Sequence[int] | np.ndarray, right: Sequence[int] | np.ndarray
+    ) -> np.ndarray:
+        """Distance matrix between two index sets of this space."""
+        li = np.asarray(left, dtype=np.intp)
+        ri = np.asarray(right, dtype=np.intp)
+        if self.is_vector:
+            return self._vm.bulk(self.data[li], self.data[ri])
+        out = np.empty((len(li), len(ri)), dtype=np.float64)
+        for a, i in enumerate(li):
+            pi = self.data[i]
+            for b, j in enumerate(ri):
+                out[a, b] = self.metric(pi, self.data[j])
+        return out
+
+    def distance_matrix(self) -> np.ndarray:
+        """Full symmetric pairwise distance matrix (O(n^2) — small data only)."""
+        n = len(self)
+        idx = np.arange(n)
+        if self.is_vector:
+            return self._vm.bulk(self.data, self.data)
+        out = np.zeros((n, n), dtype=np.float64)
+        for i in range(n):
+            for j in range(i + 1, n):
+                d = self.metric(self.data[i], self.data[j])
+                out[i, j] = out[j, i] = d
+        return out
+
+    def subset(self, indices: Sequence[int] | np.ndarray) -> "MetricSpace":
+        """A new MetricSpace over the selected elements (copies references)."""
+        idx = np.asarray(indices, dtype=np.intp)
+        if self.is_vector:
+            return MetricSpace(self.data[idx], self._vm)
+        return MetricSpace([self.data[i] for i in idx], self.metric)
+
+
+class PrecomputedMetric:
+    """Adapter exposing a precomputed distance matrix as a metric on indices.
+
+    Useful in tests and for expensive metrics (e.g. tree edit distance)
+    where recomputation would dominate: the "dataset" becomes
+    ``range(n)`` and lookups are O(1).
+    """
+
+    def __init__(self, matrix: np.ndarray):
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("precomputed matrix must be square")
+        if (matrix < 0).any():
+            raise ValueError("distances must be nonnegative")
+        if not np.allclose(matrix, matrix.T):
+            raise ValueError("precomputed matrix must be symmetric")
+        self.matrix = matrix
+
+    def __call__(self, i, j) -> float:
+        return float(self.matrix[int(i), int(j)])
+
+    def space(self) -> MetricSpace:
+        """MetricSpace over element indices ``0..n-1`` with this metric."""
+        return MetricSpace(list(range(self.matrix.shape[0])), self)

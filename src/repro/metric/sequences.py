@@ -1,0 +1,174 @@
+"""Sequence metrics: token edit distance, LCS, Hamming, ERP, and DTW.
+
+The paper's goal G1 (*General Input*) is "any metric dataset" — DNA
+reads, event logs, and sensor traces are sequences rather than strings,
+so this module generalizes the string machinery to sequences of
+arbitrary hashable tokens and to numeric time series.
+
+Metric status of each distance (it matters: the triangle-inequality
+pruning in :mod:`repro.index` is only correct for true metrics):
+
+===========================  =========================================
+``sequence_edit_distance``   metric (unit-cost Levenshtein on tokens)
+``lcs_distance``             metric (indel-only edit distance)
+``hamming``                  metric (equal-length sequences)
+``erp``                      metric (Edit distance with Real Penalty)
+``dtw``                      **not** a metric — triangle inequality
+                             fails; pair it only with
+                             ``BruteForceIndex`` / ``index="brute"``
+===========================  =========================================
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.mdl import universal_code_length
+
+
+def hamming(a: Sequence, b: Sequence) -> float:
+    """Number of positions where equal-length sequences differ.
+
+    A metric on sequences of a fixed length (it is the L1 distance
+    between indicator encodings).  Raises if the lengths differ, since
+    padding conventions silently change the geometry.
+    """
+    if len(a) != len(b):
+        raise ValueError(f"hamming requires equal lengths, got {len(a)} and {len(b)}")
+    return float(sum(1 for x, y in zip(a, b) if x != y))
+
+
+def sequence_edit_distance(a: Sequence, b: Sequence) -> float:
+    """Unit-cost Levenshtein distance over arbitrary hashable tokens.
+
+    The string edit distance of :func:`repro.metric.strings.levenshtein`
+    generalized from characters to tokens — e.g. DNA codons, syscall
+    names in a log, or words in a sentence.  A true metric.
+    """
+    if a == b or (len(a) == len(b) and all(x == y for x, y in zip(a, b))):
+        return 0.0
+    if len(a) < len(b):
+        a, b = b, a
+    if len(b) == 0:
+        return float(len(a))
+    previous = list(range(len(b) + 1))
+    for i, ta in enumerate(a, start=1):
+        current = [i]
+        for j, tb in enumerate(b, start=1):
+            cost = 0 if ta == tb else 1
+            current.append(
+                min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+            )
+        previous = current
+    return float(previous[len(b)])
+
+
+def lcs_distance(a: Sequence, b: Sequence) -> float:
+    """Indel-only edit distance: ``len(a) + len(b) − 2·LCS(a, b)``.
+
+    The edit distance when replacement is forbidden; a metric, and the
+    classic measure for alignment-style comparisons (diff tools).
+    """
+    la, lb = len(a), len(b)
+    if la == 0 or lb == 0:
+        return float(la + lb)
+    previous = [0] * (lb + 1)
+    for x in a:
+        current = [0]
+        for j, y in enumerate(b, start=1):
+            if x == y:
+                current.append(previous[j - 1] + 1)
+            else:
+                current.append(max(previous[j], current[j - 1]))
+        previous = current
+    return float(la + lb - 2 * previous[lb])
+
+
+def erp(a, b, gap: float = 0.0) -> float:
+    """Edit distance with Real Penalty (Chen & Ng, VLDB 2004).
+
+    An edit distance for numeric time series where a gap aligns against
+    the constant ``gap`` value instead of being free — which, unlike
+    DTW, preserves the triangle inequality.  ``erp`` is therefore safe
+    to combine with every metric index in :mod:`repro.index`.
+
+    Parameters
+    ----------
+    a, b:
+        1-d numeric sequences (may have different lengths).
+    gap:
+        The gap reference value ``g`` (0 is the standard choice for
+        normalized series).
+    """
+    x = np.asarray(a, dtype=np.float64).ravel()
+    y = np.asarray(b, dtype=np.float64).ravel()
+    la, lb = x.size, y.size
+    if la == 0:
+        return float(np.abs(y - gap).sum())
+    if lb == 0:
+        return float(np.abs(x - gap).sum())
+    gap_x = np.abs(x - gap)
+    gap_y = np.abs(y - gap)
+    previous = np.concatenate([[0.0], np.cumsum(gap_y)])
+    for i in range(la):
+        current = np.empty(lb + 1)
+        current[0] = previous[0] + gap_x[i]
+        match = np.abs(x[i] - y)
+        for j in range(1, lb + 1):
+            current[j] = min(
+                previous[j - 1] + match[j - 1],  # align x_i with y_j
+                previous[j] + gap_x[i],          # gap in y
+                current[j - 1] + gap_y[j - 1],   # gap in x
+            )
+        previous = current
+    return float(previous[lb])
+
+
+def dtw(a, b, window: int | None = None) -> float:
+    """Dynamic Time Warping distance between 1-d numeric sequences.
+
+    The classic elastic measure with an optional Sakoe–Chiba band of
+    half-width ``window``.  **Not a metric** — the triangle inequality
+    fails — so use it only with ``BruteForceIndex`` (``index="brute"``
+    in :class:`~repro.core.mccatch.McCatch`); the tree indexes would
+    prune incorrectly.  Prefer :func:`erp` when index acceleration
+    matters.
+    """
+    x = np.asarray(a, dtype=np.float64).ravel()
+    y = np.asarray(b, dtype=np.float64).ravel()
+    la, lb = x.size, y.size
+    if la == 0 or lb == 0:
+        raise ValueError("dtw requires nonempty sequences")
+    if window is not None and window < 0:
+        raise ValueError(f"window must be >= 0, got {window}")
+    band = max(window, abs(la - lb)) if window is not None else None
+    inf = np.inf
+    previous = np.full(lb + 1, inf)
+    previous[0] = 0.0
+    for i in range(1, la + 1):
+        current = np.full(lb + 1, inf)
+        lo = 1 if band is None else max(1, i - band)
+        hi = lb if band is None else min(lb, i + band)
+        for j in range(lo, hi + 1):
+            cost = abs(x[i - 1] - y[j - 1])
+            current[j] = cost + min(previous[j], current[j - 1], previous[j - 1])
+        previous = current
+    return float(previous[lb])
+
+
+def transformation_cost_for_sequences(sequences) -> float:
+    """Transformation Cost ``t`` (Def. 7) for token sequences under edit
+    distance: choose the operation (of 3), the token, and the position.
+    """
+    tokens: set = set()
+    longest = 0
+    for seq in sequences:
+        tokens.update(seq)
+        longest = max(longest, len(seq))
+    return (
+        universal_code_length(3)
+        + universal_code_length(max(1, len(tokens)))
+        + universal_code_length(max(1, longest))
+    )

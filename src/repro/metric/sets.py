@@ -1,0 +1,104 @@
+"""Set and multiset metrics: Jaccard, symmetric difference, weighted Jaccard.
+
+Market baskets, tag collections, and n-gram profiles are naturally
+sets; McCatch handles them through goal G1 as long as the distance is a
+true metric.  All three distances here are:
+
+- :func:`jaccard_distance` — ``1 − |A∩B| / |A∪B|``, the Steinhaus /
+  Tanimoto distance, a metric on finite sets;
+- :func:`symmetric_difference_distance` — ``|A △ B|``, the L1 distance
+  between indicator vectors;
+- :func:`weighted_jaccard_distance` — the multiset / nonnegative-vector
+  generalization ``1 − Σ min / Σ max``, also a metric.
+
+:func:`ngram_profile` turns a string into its n-gram set, giving a
+cheap, index-friendly alternative to edit distance for long strings.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+import numpy as np
+
+
+def _as_set(x) -> frozenset:
+    return x if isinstance(x, (set, frozenset)) else frozenset(x)
+
+
+def jaccard_distance(a: Iterable, b: Iterable) -> float:
+    """Jaccard (Steinhaus) distance ``1 − |A∩B| / |A∪B|``.
+
+    A true metric on finite sets; two empty sets are at distance 0.
+    """
+    sa, sb = _as_set(a), _as_set(b)
+    if not sa and not sb:
+        return 0.0
+    inter = len(sa & sb)
+    union = len(sa) + len(sb) - inter
+    return 1.0 - inter / union
+
+
+def symmetric_difference_distance(a: Iterable, b: Iterable) -> float:
+    """Size of the symmetric difference ``|A △ B|``.
+
+    The L1 (Hamming) distance between indicator vectors — an unbounded
+    metric that, unlike Jaccard, keeps absolute set sizes relevant.
+    """
+    sa, sb = _as_set(a), _as_set(b)
+    return float(len(sa ^ sb))
+
+
+def weighted_jaccard_distance(a, b) -> float:
+    """Weighted Jaccard distance ``1 − Σᵢ min(aᵢ,bᵢ) / Σᵢ max(aᵢ,bᵢ)``.
+
+    Accepts multisets (:class:`collections.Counter` / mappings to
+    nonnegative counts) or nonnegative numeric vectors of equal length.
+    A metric in both forms (it is the Steinhaus distance for the measure
+    induced by the weights).
+    """
+    if isinstance(a, (Counter, dict)) or isinstance(b, (Counter, dict)):
+        ca, cb = Counter(a), Counter(b)
+        if any(v < 0 for v in ca.values()) or any(v < 0 for v in cb.values()):
+            raise ValueError("weighted Jaccard requires nonnegative multiplicities")
+        keys = set(ca) | set(cb)
+        min_sum = sum(min(ca[k], cb[k]) for k in keys)
+        max_sum = sum(max(ca[k], cb[k]) for k in keys)
+    else:
+        va = np.asarray(a, dtype=np.float64).ravel()
+        vb = np.asarray(b, dtype=np.float64).ravel()
+        if va.size != vb.size:
+            raise ValueError(f"vector lengths differ: {va.size} vs {vb.size}")
+        if (va < 0).any() or (vb < 0).any():
+            raise ValueError("weighted Jaccard requires nonnegative components")
+        min_sum = float(np.minimum(va, vb).sum())
+        max_sum = float(np.maximum(va, vb).sum())
+    if max_sum == 0:
+        return 0.0
+    return 1.0 - min_sum / max_sum
+
+
+def ngram_profile(text: str, n: int = 3, pad: bool = True) -> frozenset:
+    """The set of character n-grams of ``text``.
+
+    With ``pad=True`` the string is framed by ``n − 1`` sentinel
+    characters on each side, so prefixes/suffixes are distinguishable —
+    the standard trick from approximate string matching.  Combine with
+    :func:`jaccard_distance` for a fast, metric string distance.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if pad and n > 1:
+        sentinel = "\x00" * (n - 1)
+        text = f"{sentinel}{text}{sentinel}"
+    if len(text) < n:
+        return frozenset([text] if text else [])
+    return frozenset(text[i : i + n] for i in range(len(text) - n + 1))
+
+
+def ngram_jaccard(a: str, b: str, n: int = 3) -> float:
+    """Jaccard distance between n-gram profiles — a metric string
+    distance with O(len) evaluation, useful when Levenshtein's quadratic
+    cost dominates (very long strings)."""
+    return jaccard_distance(ngram_profile(a, n), ngram_profile(b, n))

@@ -1,0 +1,64 @@
+"""Transformation Cost ``t`` of Definition 7.
+
+``t`` is the number of bits needed to describe how to transform one
+element of the metric space into another element that is *one unit of
+distance* away:
+
+- vector space: ``t`` = dimensionality (one difference per feature);
+- words under edit distance: ``t`` = ⟨3⟩ + ⟨#distinct chars⟩ +
+  ⟨#chars of the longest word⟩ — which operation (of 3), which
+  character, and at which position;
+- any other space: supplied by the caller.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.mdl import universal_code_length
+
+
+def transformation_cost_for_vectors(dimensionality: int) -> float:
+    """``t`` for a vector space: its embedding dimensionality."""
+    if dimensionality < 1:
+        raise ValueError(f"dimensionality must be >= 1, got {dimensionality}")
+    return float(dimensionality)
+
+
+def transformation_cost_for_strings(words: Iterable[str]) -> float:
+    """``t`` for words under edit distance, per Definition 7.
+
+    ⟨3⟩ bits pick the edit operation (insert / delete / replace), the
+    alphabet-size term picks the character involved, and the
+    longest-word term picks the position.
+    """
+    distinct: set[str] = set()
+    longest = 0
+    for word in words:
+        distinct.update(word)
+        longest = max(longest, len(word))
+    n_chars = max(1, len(distinct))
+    longest = max(1, longest)
+    return (
+        universal_code_length(3)
+        + universal_code_length(n_chars)
+        + universal_code_length(longest)
+    )
+
+
+def transformation_cost_for_trees(trees) -> float:
+    """``t`` for labeled trees under tree edit distance.
+
+    Analogous to the string case: choose the operation, the label, and
+    the node position within the largest tree.
+    """
+    labels: set[str] = set()
+    largest = 0
+    for tree in trees:
+        labels.update(tree.labels())
+        largest = max(largest, tree.size())
+    return (
+        universal_code_length(3)
+        + universal_code_length(max(1, len(labels)))
+        + universal_code_length(max(1, largest))
+    )

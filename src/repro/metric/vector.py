@@ -1,0 +1,104 @@
+"""L_p metrics for vector data, in scalar and bulk (vectorized) form.
+
+The paper uses the Euclidean distance for every vector dataset, noting
+that any other L_p metric would work (Sec. V).  Each metric here comes
+in two flavours:
+
+- a scalar ``f(p, q) -> float`` usable wherever a generic distance
+  function is expected, and
+- a bulk form used internally by the indexes,
+  ``f.bulk(Q, X) -> (len(Q), len(X)) matrix``, which avoids Python-level
+  loops on the hot paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class VectorMetric:
+    """A named L_p metric with scalar and bulk evaluation.
+
+    Parameters
+    ----------
+    p:
+        Order of the norm; ``np.inf`` gives the Chebyshev metric.
+    name:
+        Human-readable name, used in ``repr`` and error messages.
+    """
+
+    def __init__(self, p: float, name: str):
+        if p < 1:
+            raise ValueError(f"L_p metrics require p >= 1, got {p}")
+        self.p = float(p)
+        self.name = name
+
+    def __call__(self, a, b) -> float:
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        diff = np.abs(a - b)
+        if np.isinf(self.p):
+            return float(diff.max(initial=0.0))
+        if self.p == 2.0:
+            return float(np.sqrt(np.sum(diff * diff)))
+        if self.p == 1.0:
+            return float(diff.sum())
+        return float(np.sum(diff**self.p) ** (1.0 / self.p))
+
+    def bulk(self, Q: np.ndarray, X: np.ndarray) -> np.ndarray:
+        """Distance matrix between query rows ``Q`` and data rows ``X``."""
+        Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        if np.isinf(self.p):
+            return np.abs(Q[:, None, :] - X[None, :, :]).max(axis=2)
+        if self.p == 2.0:
+            # ||q - x||^2 = ||q||^2 + ||x||^2 - 2 q.x, clipped for round-off.
+            qq = np.einsum("ij,ij->i", Q, Q)[:, None]
+            xx = np.einsum("ij,ij->i", X, X)[None, :]
+            sq = qq + xx - 2.0 * (Q @ X.T)
+            np.maximum(sq, 0.0, out=sq)
+            return np.sqrt(sq)
+        diff = np.abs(Q[:, None, :] - X[None, :, :])
+        if self.p == 1.0:
+            return diff.sum(axis=2)
+        return np.sum(diff**self.p, axis=2) ** (1.0 / self.p)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VectorMetric({self.name})"
+
+
+euclidean = VectorMetric(2.0, "euclidean")
+cityblock = VectorMetric(1.0, "cityblock")
+chebyshev = VectorMetric(np.inf, "chebyshev")
+
+
+def minkowski(p: float) -> VectorMetric:
+    """Return the L_p metric of order ``p``."""
+    return VectorMetric(p, f"minkowski(p={p})")
+
+
+_NAMED = {
+    "euclidean": euclidean,
+    "l2": euclidean,
+    "cityblock": cityblock,
+    "manhattan": cityblock,
+    "l1": cityblock,
+    "chebyshev": chebyshev,
+    "linf": chebyshev,
+}
+
+
+def vector_metric(metric) -> VectorMetric:
+    """Resolve ``metric`` (name, order, or VectorMetric) to a VectorMetric."""
+    if isinstance(metric, VectorMetric):
+        return metric
+    if isinstance(metric, str):
+        try:
+            return _NAMED[metric.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown vector metric {metric!r}; choose from {sorted(_NAMED)}"
+            ) from None
+    if isinstance(metric, (int, float)):
+        return minkowski(float(metric))
+    raise TypeError(f"cannot interpret {metric!r} as a vector metric")

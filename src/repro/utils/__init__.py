@@ -1,0 +1,17 @@
+"""Small shared utilities: validation helpers and RNG handling."""
+
+from repro.utils.rng import check_random_state
+from repro.utils.validation import (
+    as_float_array,
+    check_dataset,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "as_float_array",
+    "check_dataset",
+    "check_positive_int",
+    "check_probability",
+    "check_random_state",
+]

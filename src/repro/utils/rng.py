@@ -1,0 +1,22 @@
+"""Random-number-generator plumbing shared by datasets and baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_random_state(seed) -> np.random.Generator:
+    """Normalize ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh entropy), an integer seed, or an existing
+    ``Generator`` (returned unchanged).  Mirrors the scikit-learn
+    convention so every stochastic entry point in the library takes a
+    uniform ``random_state`` argument.
+    """
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    raise TypeError(f"random_state must be None, int, or Generator, got {type(seed)!r}")

@@ -1,0 +1,25 @@
+"""Dependency-free visualization: SVG figures and HTML reports.
+
+The paper's explainability claim rests on *showing* the 'Oracle' plot
+and the cutoff histogram (Figs. 3-4); :mod:`repro.core.explain` renders
+them as ASCII, and this package renders them as standalone SVG/HTML —
+no matplotlib, just text generation — so results can be inspected in a
+browser straight from a script or the CLI.
+"""
+
+from repro.viz.report import html_report, write_report
+from repro.viz.svg import (
+    histogram_svg,
+    oracle_plot_svg,
+    scaling_plot_svg,
+    scatter_svg,
+)
+
+__all__ = [
+    "scatter_svg",
+    "oracle_plot_svg",
+    "histogram_svg",
+    "scaling_plot_svg",
+    "html_report",
+    "write_report",
+]

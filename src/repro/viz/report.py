@@ -1,0 +1,128 @@
+"""Standalone HTML report for a McCatch run.
+
+``html_report`` assembles one self-contained document: the ranked
+microcluster table (Alg. 1's M and S), per-point top scores (W), the
+'Oracle' plot and cutoff histogram SVGs, and — for 2-d vector data —
+the colored scatter.  Everything inlines into a single file with no
+external assets, so ``write_report(...)`` output can be mailed around.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.explain import explain_point
+from repro.core.result import McCatchResult
+from repro.viz.svg import histogram_svg, oracle_plot_svg, scatter_svg
+
+_STYLE = """
+body { font-family: sans-serif; margin: 2em auto; max-width: 1100px; color: #222; }
+h1 { border-bottom: 2px solid #d62728; padding-bottom: .2em; }
+table { border-collapse: collapse; margin: 1em 0; }
+th, td { border: 1px solid #ccc; padding: .35em .8em; text-align: right; }
+th { background: #f4f4f4; }
+td.left, th.left { text-align: left; }
+.figures { display: flex; flex-wrap: wrap; gap: 1.5em; }
+.explain { background: #fafafa; border-left: 4px solid #1f77b4;
+           padding: .6em 1em; margin: .6em 0; white-space: pre-wrap; }
+"""
+
+
+def _microcluster_table(result: McCatchResult, max_rows: int) -> str:
+    rows = [
+        "<table><tr><th>rank</th><th>cardinality</th><th>score s_j (bits/member)"
+        "</th><th>bridge length</th><th class=left>member indices</th></tr>"
+    ]
+    for rank, mc in enumerate(result.microclusters[:max_rows]):
+        members = ", ".join(str(int(i)) for i in sorted(mc.indices)[:12])
+        if mc.cardinality > 12:
+            members += f", … ({mc.cardinality} total)"
+        rows.append(
+            f"<tr><td>{rank}</td><td>{mc.cardinality}</td>"
+            f"<td>{mc.score:.2f}</td><td>{mc.bridge_length:.4g}</td>"
+            f"<td class=left>{members}</td></tr>"
+        )
+    rows.append("</table>")
+    if len(result.microclusters) > max_rows:
+        rows.append(f"<p>… and {len(result.microclusters) - max_rows} more microclusters.</p>")
+    return "\n".join(rows)
+
+
+def _top_points_table(result: McCatchResult, max_rows: int) -> str:
+    order = np.argsort(result.point_scores)[::-1][:max_rows]
+    rows = ["<table><tr><th>point</th><th>score w_i</th><th>microcluster rank</th></tr>"]
+    labels = result.labels
+    for i in order:
+        rank = int(labels[int(i)])
+        rows.append(
+            f"<tr><td>{int(i)}</td><td>{result.point_scores[int(i)]:.2f}</td>"
+            f"<td>{'—' if rank < 0 else rank}</td></tr>"
+        )
+    rows.append("</table>")
+    return "\n".join(rows)
+
+
+def html_report(
+    result: McCatchResult,
+    points=None,
+    *,
+    title: str = "McCatch report",
+    max_rows: int = 15,
+    explain_top: int = 3,
+) -> str:
+    """Render ``result`` as a self-contained HTML document string.
+
+    Parameters
+    ----------
+    result:
+        A :class:`~repro.core.result.McCatchResult`.
+    points:
+        The original data; when 2-d vector data is given, a colored
+        scatter is included.
+    title:
+        Report headline.
+    max_rows:
+        Row cap for the ranking tables.
+    explain_top:
+        Number of top microclusters to explain in prose
+        (via :func:`repro.core.explain.explain_point`).
+    """
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        f"<title>{html.escape(title)}</title><style>{_STYLE}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        f"<p>n = {result.n} elements, {len(result.microclusters)} microclusters "
+        f"({result.n_outliers} outlying elements), cutoff d = "
+        f"{result.cutoff.value:.4g}.</p>",
+        "<h2>Microclusters (most-strange-first)</h2>",
+        _microcluster_table(result, max_rows),
+        "<h2>Figures</h2><div class='figures'>",
+        oracle_plot_svg(result),
+        histogram_svg(result),
+    ]
+    if points is not None:
+        X = np.asarray(points)
+        if X.ndim == 2 and X.shape[1] >= 2 and np.issubdtype(X.dtype, np.number):
+            parts.append(scatter_svg(X.astype(np.float64), result))
+    parts.append("</div>")
+
+    if explain_top > 0 and result.microclusters:
+        parts.append("<h2>Why are they anomalous?</h2>")
+        for mc in result.microclusters[:explain_top]:
+            text = explain_point(result, int(mc.indices[0]))
+            parts.append(f"<div class='explain'>{html.escape(text)}</div>")
+
+    parts.append("<h2>Top-scored points (W)</h2>")
+    parts.append(_top_points_table(result, max_rows))
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def write_report(result: McCatchResult, path, points=None, **kwargs) -> Path:
+    """Write :func:`html_report` output to ``path`` and return it."""
+    path = Path(path)
+    path.write_text(html_report(result, points, **kwargs), encoding="utf-8")
+    return path

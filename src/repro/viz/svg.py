@@ -1,0 +1,238 @@
+"""Hand-rolled SVG figures for McCatch results.
+
+Each function returns a complete ``<svg>...</svg>`` document string.
+Everything is computed with plain arithmetic — there is deliberately no
+plotting dependency, keeping the library's install surface at
+numpy/scipy only.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.result import McCatchResult
+
+#: Color cycle for microcluster ranks (rank 0 first); inliers are grey.
+PALETTE = ["#d62728", "#1f77b4", "#2ca02c", "#9467bd", "#ff7f0e",
+           "#8c564b", "#e377c2", "#17becf"]
+INLIER_COLOR = "#bbbbbb"
+
+
+class _Canvas:
+    """Minimal SVG canvas with margins and data-space scaling."""
+
+    def __init__(self, width: int, height: int, margin: int = 45):
+        self.width = width
+        self.height = height
+        self.margin = margin
+        self.parts: list[str] = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+            f'height="{height}" viewBox="0 0 {width} {height}">',
+            f'<rect width="{width}" height="{height}" fill="white"/>',
+        ]
+        self._x_range = (0.0, 1.0)
+        self._y_range = (0.0, 1.0)
+
+    # -- scaling ----------------------------------------------------------
+
+    def set_ranges(self, x_range: tuple[float, float], y_range: tuple[float, float]):
+        def pad(lo: float, hi: float) -> tuple[float, float]:
+            if hi <= lo:
+                hi = lo + 1.0
+            span = hi - lo
+            return lo - 0.05 * span, hi + 0.05 * span
+
+        self._x_range = pad(*x_range)
+        self._y_range = pad(*y_range)
+
+    def px(self, x: float) -> float:
+        lo, hi = self._x_range
+        frac = (x - lo) / (hi - lo)
+        return self.margin + frac * (self.width - 2 * self.margin)
+
+    def py(self, y: float) -> float:
+        lo, hi = self._y_range
+        frac = (y - lo) / (hi - lo)
+        return self.height - self.margin - frac * (self.height - 2 * self.margin)
+
+    # -- primitives ---------------------------------------------------------
+
+    def circle(self, x: float, y: float, r: float, fill: str, opacity: float = 1.0):
+        self.parts.append(
+            f'<circle cx="{self.px(x):.2f}" cy="{self.py(y):.2f}" r="{r}" '
+            f'fill="{fill}" fill-opacity="{opacity}"/>'
+        )
+
+    def line(self, x1, y1, x2, y2, stroke: str = "#333", width: float = 1.0, dash: str = ""):
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self.parts.append(
+            f'<line x1="{self.px(x1):.2f}" y1="{self.py(y1):.2f}" '
+            f'x2="{self.px(x2):.2f}" y2="{self.py(y2):.2f}" '
+            f'stroke="{stroke}" stroke-width="{width}"{dash_attr}/>'
+        )
+
+    def rect(self, x, y, w_data, h_data, fill: str, opacity: float = 1.0):
+        x0, y0 = self.px(x), self.py(y + h_data)
+        w = self.px(x + w_data) - x0
+        h = self.py(y) - y0
+        self.parts.append(
+            f'<rect x="{x0:.2f}" y="{y0:.2f}" width="{max(w, 0):.2f}" '
+            f'height="{max(h, 0):.2f}" fill="{fill}" fill-opacity="{opacity}"/>'
+        )
+
+    def text(self, x_pix: float, y_pix: float, s: str, size: int = 12,
+             anchor: str = "middle", color: str = "#222", rotate: float | None = None):
+        transform = (
+            f' transform="rotate({rotate} {x_pix:.1f} {y_pix:.1f})"' if rotate else ""
+        )
+        self.parts.append(
+            f'<text x="{x_pix:.1f}" y="{y_pix:.1f}" font-size="{size}" '
+            f'font-family="sans-serif" text-anchor="{anchor}" '
+            f'fill="{color}"{transform}>{_escape(s)}</text>'
+        )
+
+    def axes(self, x_label: str, y_label: str, title: str = ""):
+        m = self.margin
+        self.parts.append(
+            f'<rect x="{m}" y="{m}" width="{self.width - 2 * m}" '
+            f'height="{self.height - 2 * m}" fill="none" stroke="#444"/>'
+        )
+        self.text(self.width / 2, self.height - 8, x_label)
+        self.text(14, self.height / 2, y_label, rotate=-90)
+        if title:
+            self.text(self.width / 2, m - 10, title, size=14)
+
+    def render(self) -> str:
+        return "\n".join(self.parts + ["</svg>"])
+
+
+def _escape(s: str) -> str:
+    return s.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def _log_safe(values: np.ndarray, floor_ratio: float = 1e-3) -> tuple[np.ndarray, float]:
+    """Map values to log10, sending zeros to a floor below the smallest
+    positive value (the 'Oracle' plot draws y=0 points on a bottom rail)."""
+    positive = values[values > 0]
+    floor = float(positive.min()) * floor_ratio if positive.size else 1e-9
+    return np.log10(np.maximum(values, floor)), math.log10(floor)
+
+
+def scatter_svg(
+    points,
+    result: McCatchResult | None = None,
+    *,
+    width: int = 520,
+    height: int = 420,
+    title: str = "",
+    point_radius: float = 3.0,
+) -> str:
+    """2-d scatter of the data, colored by microcluster membership.
+
+    Data with more than two dimensions is projected onto its first two
+    coordinates.  Inliers are grey; each microcluster gets a palette
+    color by rank (rank 0 = most anomalous = red).
+    """
+    X = np.asarray(points, dtype=np.float64)
+    if X.ndim != 2 or X.shape[1] < 2:
+        raise ValueError("scatter_svg needs 2-d vector data (n, >=2)")
+    canvas = _Canvas(width, height)
+    canvas.set_ranges((X[:, 0].min(), X[:, 0].max()), (X[:, 1].min(), X[:, 1].max()))
+    labels = result.labels if result is not None else np.full(X.shape[0], -1)
+    for i in np.nonzero(labels < 0)[0]:
+        canvas.circle(X[i, 0], X[i, 1], point_radius, INLIER_COLOR, opacity=0.7)
+    for i in np.nonzero(labels >= 0)[0]:
+        color = PALETTE[int(labels[i]) % len(PALETTE)]
+        canvas.circle(X[i, 0], X[i, 1], point_radius + 1.0, color)
+    canvas.axes("attr1", "attr2", title)
+    return canvas.render()
+
+
+def oracle_plot_svg(
+    result: McCatchResult,
+    *,
+    width: int = 520,
+    height: int = 420,
+    title: str = "'Oracle' plot",
+) -> str:
+    """The paper's 'Oracle' plot (Fig. 3ii): x = 1NN Distance, y = Group
+    1NN Distance, both log-scaled, with the Cutoff ``d`` drawn on both
+    axes and outliers colored by microcluster rank."""
+    oracle = result.oracle
+    lx, x_floor = _log_safe(oracle.x)
+    ly, y_floor = _log_safe(oracle.y)
+    canvas = _Canvas(width, height)
+    canvas.set_ranges((min(lx.min(), x_floor), lx.max()), (min(ly.min(), y_floor), ly.max()))
+    labels = result.labels
+    for i in np.nonzero(labels < 0)[0]:
+        canvas.circle(lx[i], ly[i], 3.0, INLIER_COLOR, opacity=0.6)
+    for i in np.nonzero(labels >= 0)[0]:
+        canvas.circle(lx[i], ly[i], 4.0, PALETTE[int(labels[i]) % len(PALETTE)])
+    if np.isfinite(result.cutoff.value) and result.cutoff.value > 0:
+        d_log = math.log10(result.cutoff.value)
+        canvas.line(d_log, canvas._y_range[0], d_log, canvas._y_range[1],
+                    stroke="#000", dash="5,4")
+        canvas.line(canvas._x_range[0], d_log, canvas._x_range[1], d_log,
+                    stroke="#000", dash="5,4")
+        canvas.text(canvas.px(d_log) + 4, canvas.margin + 14, "d", size=13, anchor="start")
+    canvas.axes("1NN Distance (log10)", "Group 1NN Distance (log10)", title)
+    return canvas.render()
+
+
+def histogram_svg(
+    result: McCatchResult,
+    *,
+    width: int = 520,
+    height: int = 320,
+    title: str = "Histogram of 1NN Distances",
+) -> str:
+    """The Def. 4 histogram with the MDL cut position (Fig. 4)."""
+    info = result.cutoff
+    bins = np.asarray(info.histogram, dtype=np.float64)
+    canvas = _Canvas(width, height)
+    canvas.set_ranges((0.0, float(bins.size)), (0.0, float(bins.max(initial=1.0))))
+    for e, count in enumerate(bins):
+        color = "#1f77b4" if info.index < 0 or e < info.index else "#d62728"
+        canvas.rect(e + 0.08, 0.0, 0.84, float(count), color, opacity=0.85)
+    if info.index >= 0:
+        canvas.line(float(info.index), 0.0, float(info.index), float(bins.max(initial=1.0)),
+                    stroke="#000", width=1.5, dash="5,4")
+        canvas.text(canvas.px(float(info.index)), canvas.margin - 4, "cut -> d", size=12)
+    canvas.axes("radius index e", "count", title)
+    return canvas.render()
+
+
+def scaling_plot_svg(
+    sizes: Sequence[int],
+    seconds: Sequence[float],
+    *,
+    expected_slope: float | None = None,
+    width: int = 520,
+    height: int = 420,
+    title: str = "Runtime vs data size",
+) -> str:
+    """Log-log runtime curve (Fig. 7) with an optional expected-slope guide."""
+    ns = np.asarray(sizes, dtype=np.float64)
+    ts = np.asarray(seconds, dtype=np.float64)
+    if ns.size != ts.size or ns.size < 2:
+        raise ValueError("need at least two (size, seconds) pairs of equal length")
+    if (ns <= 0).any() or (ts <= 0).any():
+        raise ValueError("sizes and seconds must be positive for a log-log plot")
+    lx, ly = np.log10(ns), np.log10(ts)
+    canvas = _Canvas(width, height)
+    canvas.set_ranges((lx.min(), lx.max()), (ly.min(), ly.max()))
+    for a, b in zip(range(ns.size - 1), range(1, ns.size)):
+        canvas.line(lx[a], ly[a], lx[b], ly[b], stroke="#1f77b4", width=2.0)
+    for xi, yi in zip(lx, ly):
+        canvas.circle(xi, yi, 4.0, "#1f77b4")
+    if expected_slope is not None:
+        # Anchor the guide at the first measurement.
+        y_end = ly[0] + expected_slope * (lx[-1] - lx[0])
+        canvas.line(lx[0], ly[0], lx[-1], y_end, stroke="#d62728", dash="6,4", width=1.5)
+        canvas.text(canvas.px(lx[-1]) - 4, canvas.py(y_end) - 6,
+                    f"slope {expected_slope:.2f}", anchor="end", color="#d62728")
+    canvas.axes("n (log10)", "seconds (log10)", title)
+    return canvas.render()

@@ -1,0 +1,186 @@
+"""Tests for the extended Table I baseline inventory.
+
+DBSCAN / OPTICS / KMeans-- (clustering byproducts), LDOF / PLDOF,
+SCiForest, GLOSH, Deep SVDD.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DBSCAN,
+    GLOSH,
+    LDOF,
+    OPTICS,
+    PLDOF,
+    DeepSVDD,
+    KMeansMinusMinus,
+    SCiForest,
+    all_detectors,
+)
+from repro.eval.metrics import auroc
+
+
+@pytest.fixture(scope="module")
+def scattered():
+    rng = np.random.default_rng(1)
+    inliers = rng.normal(0, 1, (300, 3))
+    outliers = np.array(
+        [[8, 0, 0], [0, 9, 0], [0, 0, 10], [-8, 0, 0], [0, -9, 0], [7, 7, 7]], float
+    )
+    X = np.vstack([inliers, outliers])
+    y = np.zeros(306, dtype=int)
+    y[300:] = 1
+    return X, y
+
+
+EXTENDED = [
+    DBSCAN,
+    OPTICS,
+    KMeansMinusMinus,
+    LDOF,
+    PLDOF,
+    SCiForest,
+    GLOSH,
+    DeepSVDD,
+]
+
+
+@pytest.mark.parametrize("cls", EXTENDED)
+class TestCommonContract:
+    def test_shape_and_orientation(self, cls, scattered):
+        X, y = scattered
+        det = cls(random_state=0) if not cls().deterministic else cls()
+        scores = det.fit_scores(X)
+        assert scores.shape == (X.shape[0],)
+        assert np.isfinite(scores).all()
+        assert auroc(y, scores) > 0.85
+
+    def test_seeded_repeatability(self, cls, scattered):
+        X, _ = scattered
+        a = cls(random_state=0) if not cls().deterministic else cls()
+        b = cls(random_state=0) if not cls().deterministic else cls()
+        assert np.array_equal(a.fit_scores(X), b.fit_scores(X))
+
+
+class TestDBSCAN:
+    def test_labels_clusters_and_noise(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(0, 0.3, (50, 2)), rng.normal(8, 0.3, (50, 2)),
+                       [[4.0, 4.0]]])
+        det = DBSCAN(eps=1.0, min_pts=5)
+        labels = det.fit_labels(X)
+        assert set(labels[:50]) == {labels[0]} and labels[0] >= 0
+        assert set(labels[50:100]) == {labels[50]} and labels[50] != labels[0]
+        assert labels[100] == -1  # the lone middle point is noise
+
+    def test_auto_eps(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 2))
+        labels = DBSCAN().fit_labels(X)
+        assert (labels >= 0).sum() > 50  # heuristic eps clusters the bulk
+
+    def test_min_pts_validation(self):
+        with pytest.raises(ValueError):
+            DBSCAN(min_pts=0)
+
+
+class TestOPTICS:
+    def test_ordering_is_permutation(self, scattered):
+        X, _ = scattered
+        det = OPTICS()
+        det.fit_scores(X)
+        assert sorted(det.ordering_) == list(range(X.shape[0]))
+
+    def test_dense_points_have_low_reachability(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(0, 0.2, (80, 2)), [[6.0, 6.0]]])
+        scores = OPTICS(min_pts=5).fit_scores(X)
+        assert scores[80] > np.percentile(scores[:80], 99)
+
+    def test_min_pts_validation(self):
+        with pytest.raises(ValueError):
+            OPTICS(min_pts=1)
+
+
+class TestKMeansMinusMinus:
+    def test_trimmed_centroids_ignore_outliers(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(0, 0.2, (100, 2)), [[50.0, 50.0]] * 3])
+        scores = KMeansMinusMinus(n_clusters=1, n_outliers=3, random_state=0).fit_scores(X)
+        assert scores[100:].min() > scores[:100].max()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KMeansMinusMinus(n_clusters=0)
+
+
+class TestLDOFFamily:
+    def test_ldof_near_one_for_uniform(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(size=(200, 2))
+        scores = LDOF(k=10).fit_scores(X)
+        assert 0.4 < np.median(scores) < 1.6
+
+    def test_pldof_prunes_most_points(self, scattered):
+        X, y = scattered
+        scores = PLDOF(keep_fraction=0.1, random_state=0).fit_scores(X)
+        assert (scores == 0).sum() >= 0.85 * X.shape[0]
+        assert auroc(y, scores) > 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LDOF(k=0)
+        with pytest.raises(ValueError):
+            PLDOF(keep_fraction=0.0)
+
+
+class TestSCiForest:
+    def test_detects_clustered_anomalies(self):
+        """SCiForest's raison d'etre: clustered anomalies [6]."""
+        rng = np.random.default_rng(0)
+        inliers = rng.normal(0, 1, (400, 2))
+        clump = rng.normal(0, 0.03, (12, 2)) + [6.0, 6.0]
+        X = np.vstack([inliers, clump])
+        y = np.zeros(412, dtype=int)
+        y[400:] = 1
+        scores = SCiForest(n_trees=30, random_state=0).fit_scores(X)
+        assert auroc(y, scores) > 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SCiForest(n_trees=0)
+
+
+class TestGLOSH:
+    def test_cluster_cores_score_near_zero(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(0, 0.3, (100, 2)), [[7.0, 7.0]]])
+        scores = GLOSH().fit_scores(X)
+        assert scores[100] > 0.5
+        assert np.median(scores[:100]) < 0.5
+
+    def test_scores_in_unit_interval(self, scattered):
+        X, _ = scattered
+        s = GLOSH().fit_scores(X)
+        assert (s >= 0).all() and (s <= 1).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GLOSH(min_pts=0)
+
+
+class TestDeepSVDD:
+    def test_embeds_inliers_near_center(self, scattered):
+        X, y = scattered
+        scores = DeepSVDD(random_state=0).fit_scores(X)
+        assert np.median(scores[y == 1]) > np.median(scores[y == 0])
+
+
+class TestInventory:
+    def test_all_detectors_count(self):
+        # 11 compared methods + the 13-method Table I inventory
+        # (including the Sparx / XTreK / DIAD / DOIForest completion).
+        dets = all_detectors()
+        assert len(dets) == 24
+        assert len({d.name for d in dets}) == 24

@@ -1,0 +1,56 @@
+"""Tests for repro.core.explain: prose explanations and ASCII plots."""
+
+import numpy as np
+import pytest
+
+from repro import McCatch
+from repro.core.explain import ascii_histogram, ascii_oracle_plot, explain_point
+
+
+@pytest.fixture(scope="module")
+def result(blob_with_mc):
+    X, _ = blob_with_mc
+    return McCatch().fit(X)
+
+
+class TestExplainPoint:
+    def test_inlier_explanation(self, result):
+        inlier = int(np.setdiff1d(np.arange(result.n), result.outlier_indices)[0])
+        text = explain_point(result, inlier)
+        assert "verdict: inlier" in text
+        assert "neighbor counts" in text
+
+    def test_outlier_explanation(self, result):
+        outlier = int(result.outlier_indices[0])
+        text = explain_point(result, outlier)
+        assert "verdict:" in text and "inlier (both" not in text
+        assert "score" in text
+
+    def test_microcluster_member_explanation(self, result):
+        mc = next(m for m in result.microclusters if not m.is_singleton)
+        text = explain_point(result, int(mc.indices[0]))
+        assert f"{mc.cardinality}-elements microcluster" in text
+
+    def test_out_of_range(self, result):
+        with pytest.raises(IndexError):
+            explain_point(result, result.n + 5)
+
+
+class TestAsciiRenderings:
+    def test_oracle_plot_renders(self, result):
+        text = ascii_oracle_plot(result)
+        assert "1NN Distance" in text
+        assert "#" in text  # the planted mc appears
+        assert "o" in text  # singletons appear
+
+    def test_histogram_renders(self, result):
+        text = ascii_histogram(result)
+        assert "peak" in text and "cutoff d" in text
+        # One line per radius bin plus the title.
+        assert len(text.splitlines()) == result.oracle.radii.size + 1
+
+    def test_dimensions_respected(self, result):
+        text = ascii_oracle_plot(result, width=30, height=10)
+        body = text.splitlines()[1:-1]
+        assert len(body) == 10
+        assert all(len(line) == 30 for line in body)

@@ -1,0 +1,85 @@
+"""explain_microcluster and compare_results (explainability extensions)."""
+
+import numpy as np
+import pytest
+
+from repro import McCatch
+from repro.core.explain import compare_results, explain_microcluster
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(0)
+    X = np.vstack([
+        rng.normal(0, 1, (400, 2)),
+        rng.normal([9.0, 9.0], 0.03, (5, 2)),   # planted 5-point mc
+        [[15.0, -8.0]],                          # planted singleton
+    ])
+    return X, McCatch().fit(X)
+
+
+class TestExplainMicrocluster:
+    def test_mentions_members_and_score(self, fitted):
+        _, result = fitted
+        text = explain_microcluster(result, 0)
+        mc = result.microclusters[0]
+        assert f"|M| = {mc.cardinality}" in text
+        assert f"{mc.score:.2f} bits per member" in text
+
+    def test_singleton_marked(self, fitted):
+        _, result = fitted
+        singleton_rank = next(
+            r for r, m in enumerate(result.microclusters) if m.is_singleton
+        )
+        assert "one-off outlier" in explain_microcluster(result, singleton_rank)
+
+    def test_nonsingleton_mentions_coalition(self, fitted):
+        _, result = fitted
+        ns_rank = next(
+            r for r, m in enumerate(result.microclusters) if not m.is_singleton
+        )
+        text = explain_microcluster(result, ns_rank)
+        assert "coalition" in text
+
+    def test_bridge_in_r1_units(self, fitted):
+        _, result = fitted
+        text = explain_microcluster(result, 0)
+        assert "units of r1" in text
+
+    def test_out_of_range(self, fitted):
+        _, result = fitted
+        with pytest.raises(IndexError, match="out of range"):
+            explain_microcluster(result, len(result.microclusters))
+
+
+class TestCompareResults:
+    def test_self_comparison_is_perfect(self, fitted):
+        _, result = fitted
+        text = compare_results(result, result)
+        assert "agreement (Jaccard) = 1.000" in text
+        assert "flagged only" not in text
+
+    def test_different_settings_reported(self, fitted):
+        X, result = fitted
+        other = McCatch(n_radii=10).fit(X)
+        text = compare_results(result, other)
+        assert "comparing two results" in text
+        assert "cutoff d:" in text
+
+    def test_mismatched_n_rejected(self, fitted):
+        X, result = fitted
+        other = McCatch().fit(X[:200])
+        with pytest.raises(ValueError, match="different datasets"):
+            compare_results(result, other)
+
+    def test_disagreements_listed(self, fitted):
+        """Force a disagreement by comparing against a much coarser run."""
+        X, result = fitted
+        other = McCatch(n_radii=5).fit(X)
+        text = compare_results(result, other)
+        set_a = set(map(int, result.outlier_indices))
+        set_b = set(map(int, other.outlier_indices))
+        if set_a != set_b:
+            assert "flagged only by" in text
+        else:
+            assert "agreement (Jaccard) = 1.000" in text

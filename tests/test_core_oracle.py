@@ -1,0 +1,65 @@
+"""Tests for repro.core.oracle: Algorithm 2 end to end."""
+
+import numpy as np
+import pytest
+
+from repro.core.oracle import build_oracle_plot
+from repro.core.radii import define_radii
+from repro.index import UNKNOWN_COUNT, build_index
+from repro.metric.base import MetricSpace
+
+
+@pytest.fixture(scope="module")
+def setup(blob_with_mc):
+    X, labels = blob_with_mc
+    space = MetricSpace(X)
+    tree = build_index(space)
+    radii = define_radii(tree, 15)
+    return space, tree, radii, labels
+
+
+class TestBuildOraclePlot:
+    def test_shapes(self, setup):
+        space, tree, radii, _ = setup
+        o = build_oracle_plot(tree, radii, max_slope=0.1, max_cardinality=51)
+        n = len(space)
+        assert o.x.shape == o.y.shape == (n,)
+        assert o.first_end_index.shape == o.middle_end_index.shape == (n,)
+        assert o.counts.shape == (n, 15)
+        assert len(o) == n
+
+    def test_mc_members_have_large_y(self, setup):
+        space, tree, radii, labels = setup
+        o = build_oracle_plot(tree, radii, max_slope=0.1, max_cardinality=51)
+        mc = np.nonzero(labels == 1)[0]
+        inliers = np.nonzero(labels == 0)[0]
+        assert o.y[mc].min() > np.percentile(o.y[inliers], 99)
+
+    def test_singletons_have_large_x(self, setup):
+        space, tree, radii, labels = setup
+        o = build_oracle_plot(tree, radii, max_slope=0.1, max_cardinality=51)
+        singles = np.nonzero(labels == 2)[0]
+        inliers = np.nonzero(labels == 0)[0]
+        assert o.x[singles].min() > o.x[inliers].max()
+
+    def test_sparse_focused_equals_exhaustive_on_decisive_fields(self, setup):
+        space, tree, radii, _ = setup
+        sparse = build_oracle_plot(tree, radii, max_slope=0.1, max_cardinality=51)
+        full = build_oracle_plot(
+            tree, radii, max_slope=0.1, max_cardinality=51, sparse_focused=False
+        )
+        assert np.array_equal(sparse.x, full.x)
+        assert np.array_equal(sparse.y, full.y)
+        assert np.array_equal(sparse.first_end_index, full.first_end_index)
+        assert np.array_equal(sparse.middle_end_index, full.middle_end_index)
+
+    def test_sparse_focused_skips_work(self, setup):
+        space, tree, radii, _ = setup
+        sparse = build_oracle_plot(tree, radii, max_slope=0.1, max_cardinality=51)
+        assert (sparse.counts == UNKNOWN_COUNT).any()
+
+    def test_counts_include_self(self, setup):
+        space, tree, radii, _ = setup
+        o = build_oracle_plot(tree, radii, max_slope=0.1, max_cardinality=51)
+        known = o.counts[:, 0] != UNKNOWN_COUNT
+        assert (o.counts[known, 0] >= 1).all()

@@ -1,0 +1,46 @@
+"""Tests for repro.core.radii: the geometric radius ladder."""
+
+import numpy as np
+import pytest
+
+from repro.core.radii import define_radii, radius_ladder
+from repro.index import build_index
+from repro.metric.base import MetricSpace
+
+
+class TestRadiusLadder:
+    def test_default_shape(self):
+        r = radius_ladder(100.0, 15)
+        assert r.shape == (15,)
+        assert r[-1] == pytest.approx(100.0)
+        assert r[0] == pytest.approx(100.0 / 2**14)
+
+    def test_geometric_ratio_two(self):
+        r = radius_ladder(64.0, 7)
+        assert np.allclose(r[1:] / r[:-1], 2.0)
+
+    def test_strictly_increasing(self):
+        r = radius_ladder(5.0, 10)
+        assert (np.diff(r) > 0).all()
+
+    def test_rejects_single_radius(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            radius_ladder(1.0, 1)
+
+    def test_rejects_nonpositive_diameter(self):
+        with pytest.raises(ValueError, match="positive"):
+            radius_ladder(0.0, 5)
+
+
+class TestDefineRadii:
+    def test_from_index(self, small_points):
+        idx = build_index(MetricSpace(small_points))
+        r = define_radii(idx, 15)
+        assert r.size == 15
+        assert r[-1] == pytest.approx(idx.diameter_estimate())
+
+    def test_coincident_points_rejected(self):
+        space = MetricSpace(np.zeros((5, 2)))
+        idx = build_index(space)
+        with pytest.raises(ValueError, match="coincide"):
+            define_radii(idx, 15)

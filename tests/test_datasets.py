@@ -1,0 +1,206 @@
+"""Tests for repro.datasets: generators, stand-ins, registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    AXIOM_NAMES,
+    BENCHMARK_SPECS,
+    dataset_names,
+    diagonal_line,
+    gaussian_blobs,
+    load,
+    make_axiom_dataset,
+    make_benchmark_like,
+    make_fingerprints,
+    make_http_like,
+    make_last_names,
+    make_shanghai_tiles,
+    make_skeletons,
+    make_volcano_tiles,
+    plant_microcluster,
+    plant_singletons,
+    uniform_cube,
+)
+from repro.metric.strings import levenshtein
+from repro.metric.trees import LabeledTree, tree_edit_distance
+
+
+class TestSynthetic:
+    def test_uniform_cube_bounds(self):
+        X = uniform_cube(200, 3, random_state=0)
+        assert X.shape == (200, 3)
+        assert (X >= 0).all() and (X <= 1).all()
+
+    def test_diagonal_on_line(self):
+        X = diagonal_line(100, 5, random_state=0)
+        assert np.allclose(X - X[:, :1], 0.0)
+
+    def test_diagonal_jitter(self):
+        X = diagonal_line(100, 5, jitter=0.01, random_state=0)
+        assert not np.allclose(X - X[:, :1], 0.0)
+
+    def test_gaussian_blobs_shape(self):
+        X = gaussian_blobs(150, 4, n_blobs=2, random_state=0)
+        assert X.shape == (150, 4)
+
+    def test_plant_microcluster_bridge(self):
+        rng = np.random.default_rng(0)
+        inliers = rng.normal(size=(300, 2))
+        clump = plant_microcluster(inliers, 10, bridge_length=5.0,
+                                   tightness=0.01, random_state=0)
+        d = np.linalg.norm(inliers[:, None, :] - clump[None, :, :], axis=2)
+        assert d.min() == pytest.approx(5.0, rel=0.15)
+
+    def test_plant_singletons_far(self):
+        rng = np.random.default_rng(0)
+        inliers = rng.normal(size=(300, 2))
+        singles = plant_singletons(inliers, 3, distance=6.0, random_state=0)
+        d = np.linalg.norm(inliers[:, None, :] - singles[None, :, :], axis=2)
+        assert (d.min(axis=0) > 3.0).all()
+
+
+class TestAxiomDatasets:
+    @pytest.mark.parametrize("shape", ["gaussian", "cross", "arc"])
+    @pytest.mark.parametrize("axiom", ["isolation", "cardinality"])
+    def test_structure(self, shape, axiom):
+        ds = make_axiom_dataset(shape, axiom, n_inliers=500, random_state=0)
+        assert ds.X.shape[1] == 2
+        assert set(np.unique(ds.labels)) == {0, 1, 2}
+        if axiom == "isolation":
+            assert ds.red_indices.size == ds.green_indices.size == 10
+        else:
+            assert ds.red_indices.size == 100
+            assert ds.green_indices.size == 10
+
+    def test_isolation_green_farther(self):
+        ds = make_axiom_dataset("cross", "isolation", n_inliers=800, random_state=1)
+        inl = ds.X[ds.labels == 0]
+
+        def bridge(pts):
+            return np.linalg.norm(inl[:, None] - pts[None], axis=2).min()
+
+        assert bridge(ds.X[ds.green_indices]) > 2.0 * bridge(ds.X[ds.red_indices])
+
+    def test_cardinality_equal_bridges(self):
+        ds = make_axiom_dataset("arc", "cardinality", n_inliers=800, random_state=1)
+        inl = ds.X[ds.labels == 0]
+
+        def bridge(pts):
+            return np.linalg.norm(inl[:, None] - pts[None], axis=2).min()
+
+        assert bridge(ds.X[ds.green_indices]) == pytest.approx(
+            bridge(ds.X[ds.red_indices]), rel=0.05
+        )
+
+    def test_unknown_shape_axiom(self):
+        with pytest.raises(ValueError):
+            make_axiom_dataset("ring", "isolation")
+        with pytest.raises(ValueError):
+            make_axiom_dataset("arc", "density")
+
+
+class TestBenchmarkStandIns:
+    @pytest.mark.parametrize("name", sorted(BENCHMARK_SPECS))
+    def test_specs_respected_at_scale(self, name):
+        scale = 0.2 if BENCHMARK_SPECS[name].n > 1000 else 1.0
+        X, y = make_benchmark_like(name, scale=scale, random_state=0)
+        spec = BENCHMARK_SPECS[name]
+        assert X.shape[1] == spec.dim
+        assert abs(X.shape[0] - max(30, round(spec.n * scale))) <= 1
+        frac = 100.0 * y.sum() / y.size
+        assert frac == pytest.approx(spec.outlier_pct, abs=max(1.0, 0.5 * spec.outlier_pct))
+
+    def test_http_like_dos_cluster_is_tight_and_far(self):
+        X, y = make_http_like(scale=0.2, random_state=0)
+        n_dos = 30  # the DoS coalition keeps its cardinality at any scale
+        dos = X[np.nonzero(y)[0][:n_dos]]
+        spread = np.linalg.norm(dos - dos.mean(axis=0), axis=1).max()
+        inl = X[y == 0]
+        gap = np.linalg.norm(inl[:, None] - dos[None], axis=2).min()
+        assert gap > 10 * spread
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_benchmark_like("mnist")
+
+
+class TestNondimensional:
+    def test_last_names_labels(self):
+        names, y = make_last_names(n_inliers=100, n_outliers=10, random_state=0)
+        assert len(names) == 110
+        assert y.sum() == 10
+
+    def test_last_names_outliers_are_far_in_edit_distance(self):
+        names, y = make_last_names(n_inliers=50, n_outliers=5, random_state=0)
+        inl = [n for n, lbl in zip(names, y) if lbl == 0]
+        out = [n for n, lbl in zip(names, y) if lbl == 1]
+        for o in out:
+            nearest = min(levenshtein(o, i) for i in inl)
+            assert nearest >= 4
+
+    def test_too_many_outliers_rejected(self):
+        with pytest.raises(ValueError):
+            make_last_names(n_outliers=10_000)
+
+    def test_skeletons_are_valid_trees(self):
+        trees, y = make_skeletons(n_humans=10, n_animals=2, random_state=0)
+        assert all(isinstance(t, LabeledTree) for t in trees)
+        assert y.sum() == 2
+
+    def test_skeleton_classes_separable(self):
+        trees, y = make_skeletons(n_humans=6, n_animals=2, random_state=0)
+        humans = [t for t, lbl in zip(trees, y) if lbl == 0]
+        animals = [t for t, lbl in zip(trees, y) if lbl == 1]
+        within = tree_edit_distance(humans[0], humans[1])
+        across = tree_edit_distance(humans[0], animals[0])
+        assert across > within
+
+    def test_fingerprints_partial_are_short(self):
+        codes, y = make_fingerprints(n_full=20, n_partial=4, random_state=0)
+        full = [c for c, lbl in zip(codes, y) if lbl == 0]
+        partial = [c for c, lbl in zip(codes, y) if lbl == 1]
+        assert max(map(len, partial)) < min(map(len, full))
+
+
+class TestImagery:
+    def test_shanghai_structure(self):
+        tiles = make_shanghai_tiles(random_state=0)
+        assert len(tiles) == 36 * 36
+        assert (tiles.rgb >= 0).all() and (tiles.rgb <= 255).all()
+        assert (tiles.labels == 2).sum() == 2  # red roof pair
+        assert (tiles.labels == 3).sum() == 2  # blue roof pair
+        assert (tiles.labels == 1).sum() == 4  # scattered
+
+    def test_volcano_snow_cluster(self):
+        tiles = make_volcano_tiles(random_state=0)
+        assert len(tiles) == 61 * 61
+        snow = tiles.rgb[tiles.labels == 2]
+        assert snow.shape[0] == 3
+        assert snow.min() > 200  # snow is bright in all channels
+
+
+class TestRegistry:
+    def test_all_names_load_small(self):
+        for name in dataset_names():
+            ds = load(name, scale=0.02, random_state=0, n=200)
+            assert ds.n >= 20
+
+    def test_axiom_names_enumerated(self):
+        assert len(AXIOM_NAMES) == 6
+
+    def test_metric_datasets_carry_metric(self):
+        ds = load("last_names", scale=0.1)
+        assert not ds.is_vector and callable(ds.metric)
+
+    def test_vector_datasets_have_labels(self):
+        ds = load("mammography", scale=0.2)
+        assert ds.is_vector and ds.labels is not None
+
+    def test_synthetic_without_labels(self):
+        ds = load("uniform", n=100, dim=3)
+        assert ds.labels is None
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            load("imagenet")

@@ -1,0 +1,114 @@
+"""Stream workload generators + end-to-end streaming detection on them."""
+
+import numpy as np
+import pytest
+
+from repro import McCatch, StreamingMcCatch
+from repro.datasets import burst_stream, regime_shift_stream, trickle_stream
+
+
+class TestGenerators:
+    def test_regime_shift_shapes_and_labels(self):
+        batches = list(regime_shift_stream(n_batches=6, batch_size=50, dim=3))
+        assert len(batches) == 6
+        for batch, labels in batches:
+            assert batch.shape == (50, 3)
+            assert not labels.any()
+
+    def test_regime_shift_actually_shifts(self):
+        batches = list(regime_shift_stream(n_batches=10, batch_size=200, offset=30.0))
+        early = batches[0][0].mean(axis=0)
+        late = batches[-1][0].mean(axis=0)
+        assert np.linalg.norm(late - early) > 20
+
+    def test_regime_shift_validation(self):
+        with pytest.raises(ValueError, match="shift_at"):
+            list(regime_shift_stream(shift_at=1.5))
+        with pytest.raises(ValueError, match="n_batches"):
+            list(regime_shift_stream(n_batches=0))
+
+    def test_burst_injected_at_declared_batch(self):
+        batches = list(burst_stream(n_batches=8, batch_size=60, burst_batch=3,
+                                    burst_size=10))
+        for b, (batch, labels) in enumerate(batches):
+            if b == 3:
+                assert batch.shape == (70, 2)
+                assert labels.sum() == 10
+            else:
+                assert batch.shape == (60, 2)
+                assert not labels.any()
+
+    def test_burst_is_tight_and_far(self):
+        for b, (batch, labels) in enumerate(burst_stream(burst_batch=2, burst_size=8)):
+            if b == 2:
+                burst = batch[labels]
+                spread = np.linalg.norm(burst - burst.mean(axis=0), axis=1).max()
+                distance = np.linalg.norm(burst.mean(axis=0))
+                assert spread < 1.0 < distance
+
+    def test_burst_validation(self):
+        with pytest.raises(ValueError, match="burst_batch"):
+            list(burst_stream(n_batches=5, burst_batch=5))
+        with pytest.raises(ValueError, match="burst_size"):
+            list(burst_stream(burst_size=0))
+
+    def test_trickle_rate(self):
+        total = flagged = 0
+        for batch, labels in trickle_stream(n_batches=20, batch_size=200,
+                                            outlier_rate=0.02, random_state=1):
+            total += len(labels)
+            flagged += int(labels.sum())
+        assert 0.005 < flagged / total < 0.05
+
+    def test_trickle_outliers_are_far(self):
+        for batch, labels in trickle_stream(outlier_rate=0.05, outlier_offset=20.0,
+                                            random_state=2):
+            for i in np.nonzero(labels)[0]:
+                assert np.linalg.norm(batch[i]) > 10
+
+    def test_trickle_validation(self):
+        with pytest.raises(ValueError, match="outlier_rate"):
+            list(trickle_stream(outlier_rate=2.0))
+
+    def test_deterministic_given_seed(self):
+        a = [b for b, _ in burst_stream(random_state=5)]
+        b = [b for b, _ in burst_stream(random_state=5)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+
+class TestStreamingOnGeneratedWorkloads:
+    def test_burst_raises_alerts(self):
+        """The coordinated burst must be flagged when it arrives (or at
+        the refit its arrival triggers)."""
+        stream = StreamingMcCatch(McCatch(), min_fit_size=100, refit_factor=1.3)
+        caught = 0
+        for b, (batch, labels) in enumerate(
+            burst_stream(n_batches=8, batch_size=100, burst_batch=5, burst_size=12,
+                         random_state=3)
+        ):
+            update = stream.update(batch)
+            if labels.any():
+                expected = set(range(len(stream) - int(labels.sum()), len(stream)))
+                if update.refitted:
+                    flagged = set(map(int, stream.result.outlier_indices))
+                else:
+                    flagged = set(map(int, update.provisional_outliers))
+                caught = len(expected & flagged)
+        assert caught >= 10  # at least 10 of the 12 burst members
+
+    def test_window_forgets_old_regime(self):
+        """With a sliding window, the old regime's center becomes
+        anomalous once the window is full of the new regime."""
+        stream = StreamingMcCatch(McCatch(), min_fit_size=100, refit_factor=1.2,
+                                  max_window=400)
+        for batch, _ in regime_shift_stream(n_batches=10, batch_size=100,
+                                            shift_at=0.4, offset=40.0, random_state=4):
+            stream.update(batch)
+        stream.refit()
+        update = stream.update(np.array([[0.0, 0.0]]))  # old-regime location
+        if update.refitted:
+            flagged = set(map(int, stream.result.outlier_indices))
+        else:
+            flagged = set(map(int, update.provisional_outliers))
+        assert (len(stream) - 1) in flagged

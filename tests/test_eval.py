@@ -1,0 +1,188 @@
+"""Tests for repro.eval: metrics, ranking, axiom harness, runtime, sensitivity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import (
+    auroc,
+    average_precision,
+    fit_loglog_slope,
+    format_rank_table,
+    harmonic_mean_rank,
+    match_planted_microcluster,
+    max_f1,
+    precision_recall_curve,
+    ranking_positions,
+    runtime_sweep,
+    sweep_parameter,
+)
+from repro.eval.axioms import AxiomTrial, aggregate_trials
+
+
+class TestAUROC:
+    def test_perfect_separation(self):
+        assert auroc([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_inverted(self):
+        assert auroc([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_random_is_half(self):
+        assert auroc([0, 1, 0, 1], [0.5, 0.5, 0.5, 0.5]) == 0.5
+
+    def test_ties_midrank(self):
+        # One positive tied with one negative among clean scores.
+        v = auroc([0, 0, 1, 1], [0.1, 0.5, 0.5, 0.9])
+        assert v == pytest.approx(0.875)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            auroc([0, 0], [0.1, 0.2])  # no positives
+        with pytest.raises(ValueError):
+            auroc([0, 1], [np.nan, 0.2])
+        with pytest.raises(ValueError):
+            auroc([0, 2], [0.1, 0.2])
+
+    @given(
+        seed=st.integers(0, 500),
+        n=st.integers(4, 60),
+    )
+    @settings(max_examples=60)
+    def test_complement_symmetry(self, seed, n):
+        rng = np.random.default_rng(seed)
+        y = np.zeros(n, dtype=int)
+        y[rng.choice(n, size=rng.integers(1, n), replace=False)] = 1
+        if y.sum() == n:
+            y[0] = 0
+        s = rng.normal(size=n)
+        assert auroc(y, s) == pytest.approx(1.0 - auroc(y, -s))
+
+
+class TestAPAndF1:
+    def test_ap_perfect(self):
+        assert average_precision([0, 1, 1], [0.1, 0.8, 0.9]) == 1.0
+
+    def test_ap_known_value(self):
+        # Ranking: pos, neg, pos -> AP = (1/1 + 2/3) / 2.
+        v = average_precision([1, 0, 1], [0.9, 0.8, 0.7])
+        assert v == pytest.approx((1.0 + 2.0 / 3.0) / 2.0)
+
+    def test_max_f1_perfect(self):
+        assert max_f1([0, 0, 1], [0.0, 0.1, 0.9]) == 1.0
+
+    def test_max_f1_known_value(self):
+        # Best threshold takes the top 1: P=1, R=0.5 -> F1 = 2/3.
+        v = max_f1([1, 1, 0, 0], [0.9, 0.1, 0.5, 0.4])
+        assert v >= 2.0 / 3.0 - 1e-12
+
+    def test_pr_curve_monotone_recall(self):
+        y = [0, 1, 0, 1, 1]
+        s = [0.1, 0.9, 0.3, 0.8, 0.2]
+        p, r, t = precision_recall_curve(y, s)
+        assert (np.diff(r) >= 0).all()
+        assert r[-1] == 1.0
+
+    @given(seed=st.integers(0, 300), n=st.integers(4, 40))
+    @settings(max_examples=40)
+    def test_metrics_in_unit_interval(self, seed, n):
+        rng = np.random.default_rng(seed)
+        y = np.zeros(n, dtype=int)
+        y[: max(1, n // 3)] = 1
+        rng.shuffle(y)
+        s = rng.normal(size=n)
+        for metric in (auroc, average_precision, max_f1):
+            assert 0.0 <= metric(y, s) <= 1.0
+
+
+class TestRanking:
+    def test_positions_simple(self):
+        ranks = ranking_positions({"a": 0.9, "b": 0.5, "c": 0.7})
+        assert ranks == {"a": 1.0, "c": 2.0, "b": 3.0}
+
+    def test_positions_ties_average(self):
+        ranks = ranking_positions({"a": 0.9, "b": 0.9, "c": 0.1})
+        assert ranks["a"] == ranks["b"] == 1.5
+        assert ranks["c"] == 3.0
+
+    def test_harmonic_mean_rank(self):
+        per_ds = [{"a": 0.9, "b": 0.5}, {"a": 0.4, "b": 0.8}]
+        hm = harmonic_mean_rank(per_ds)
+        # Both methods ranked 1 and 2 once: HM = 2 / (1/1 + 1/2) = 4/3.
+        assert hm["a"] == pytest.approx(4.0 / 3.0)
+        assert hm["b"] == pytest.approx(4.0 / 3.0)
+
+    def test_missing_methods_skipped(self):
+        per_ds = [{"a": 0.9}, {"a": 0.4, "b": 0.8}]
+        hm = harmonic_mean_rank(per_ds)
+        assert hm["b"] == pytest.approx(1.0)  # competed once, won
+
+    def test_winner_has_lowest_hmean(self):
+        per_ds = [{"a": 0.9, "b": 0.5, "c": 0.1}] * 3
+        hm = harmonic_mean_rank(per_ds)
+        assert hm["a"] < hm["b"] < hm["c"]
+
+    def test_format_table(self):
+        table = format_rank_table({"auroc": {"McCatch": 1.8, "LOF": 4.9}})
+        assert "McCatch" in table and "1.8" in table
+
+
+class TestAxiomHarness:
+    def test_aggregate_significant(self):
+        trials = [AxiomTrial(red_score=10.0 + 0.01 * i, green_score=12.0 + 0.01 * i)
+                  for i in range(20)]
+        res = aggregate_trials("gaussian", "isolation", trials)
+        assert res.obeys and res.statistic > 0
+
+    def test_aggregate_fail_on_missed_mc(self):
+        trials = [AxiomTrial(red_score=10.0, green_score=float("nan"))] * 5
+        res = aggregate_trials("cross", "isolation", trials)
+        assert res.failed
+        assert res.cell() == "Fail"
+
+    def test_match_planted(self, blob_with_mc):
+        from repro import McCatch
+
+        X, labels = blob_with_mc
+        result = McCatch().fit(X)
+        planted = np.nonzero(labels == 1)[0]
+        score = match_planted_microcluster(result, planted)
+        assert np.isfinite(score)
+
+    def test_match_planted_missing(self, blob_with_mc):
+        from repro import McCatch
+
+        X, labels = blob_with_mc
+        result = McCatch().fit(X)
+        # A fake "planted" cluster deep inside the inliers is not found.
+        fake = np.arange(50, 80)
+        assert np.isnan(match_planted_microcluster(result, fake))
+
+
+class TestRuntime:
+    def test_slope_of_quadratic_process(self):
+        sizes = [100, 200, 400, 800]
+        seconds = [1e-4 * n**2 for n in sizes]
+        assert fit_loglog_slope(sizes, seconds) == pytest.approx(2.0, abs=0.01)
+
+    def test_sweep_runs(self):
+        result = runtime_sweep("noop", lambda n: sum(range(n)), [1000, 2000, 4000])
+        assert len(result.points) == 3
+        assert "noop" in result.table()
+
+    def test_slope_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_loglog_slope([10], [0.1])
+
+
+class TestSensitivity:
+    def test_sweep_parameter_flat_on_easy_data(self, blob_with_mc):
+        X, labels = blob_with_mc
+        curve = sweep_parameter("blob", X, (labels > 0).astype(int), "a", grid=(13, 15, 17))
+        assert curve.aurocs.shape == (3,)
+        assert curve.spread < 0.1  # Fig. 9: near-flat
+
+    def test_bad_parameter_name(self, blob_with_mc):
+        X, labels = blob_with_mc
+        with pytest.raises(ValueError):
+            sweep_parameter("blob", X, labels, "z", grid=(1, 2))

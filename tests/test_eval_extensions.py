@@ -1,0 +1,186 @@
+"""Eval extensions: rank correlation, top-k metrics, bootstrap CIs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import (
+    auroc,
+    bootstrap_metric,
+    kendall_tau,
+    precision_at_k,
+    precision_at_n_outliers,
+    recall_at_k,
+    spearman_rho,
+    top_k_indices,
+)
+
+vectors = st.lists(st.floats(-100, 100, allow_nan=False), min_size=2, max_size=30)
+
+
+class TestKendallTau:
+    def test_perfect_agreement(self):
+        assert kendall_tau([1, 2, 3, 4], [10, 20, 30, 40]) == 1.0
+
+    def test_perfect_disagreement(self):
+        assert kendall_tau([1, 2, 3, 4], [40, 30, 20, 10]) == -1.0
+
+    def test_known_value(self):
+        # 1 discordant pair of 6 -> (5 - 1) / 6
+        assert kendall_tau([1, 2, 3, 4], [1, 2, 4, 3]) == pytest.approx(4 / 6)
+
+    def test_constant_input_returns_zero(self):
+        assert kendall_tau([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_matches_scipy(self):
+        from scipy.stats import kendalltau
+
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            a, b = rng.normal(size=20), rng.normal(size=20)
+            assert kendall_tau(a, b) == pytest.approx(kendalltau(a, b).statistic)
+
+    def test_matches_scipy_with_ties(self):
+        from scipy.stats import kendalltau
+
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            a = rng.integers(0, 4, size=25).astype(float)
+            b = rng.integers(0, 4, size=25).astype(float)
+            expected = kendalltau(a, b).statistic
+            got = kendall_tau(a, b)
+            if np.isnan(expected):
+                assert got == 0.0
+            else:
+                assert got == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            kendall_tau([1, 2], [1, 2, 3])
+        with pytest.raises(ValueError, match="at least 2"):
+            kendall_tau([1], [1])
+
+    @given(vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_self_correlation_is_one_or_zero(self, a):
+        tau = kendall_tau(a, a)
+        # 1.0 normally; 0.0 for all-constant input.
+        assert tau == pytest.approx(1.0) or (tau == 0.0 and len(set(a)) == 1)
+
+    @given(vectors.flatmap(
+        lambda a: st.tuples(st.just(a), st.permutations(a))
+    ))
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry(self, pair):
+        a, b = pair
+        assert kendall_tau(a, b) == pytest.approx(kendall_tau(b, a))
+
+
+class TestSpearman:
+    def test_monotone_transform_invariance(self):
+        a = np.array([0.1, 2.0, 3.5, 8.0, 9.0])
+        assert spearman_rho(a, np.exp(a)) == pytest.approx(1.0)
+
+    def test_matches_scipy(self):
+        from scipy.stats import spearmanr
+
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            a, b = rng.normal(size=15), rng.normal(size=15)
+            assert spearman_rho(a, b) == pytest.approx(spearmanr(a, b).statistic)
+
+    def test_matches_scipy_with_ties(self):
+        from scipy.stats import spearmanr
+
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 3, size=30).astype(float)
+        b = rng.integers(0, 3, size=30).astype(float)
+        assert spearman_rho(a, b) == pytest.approx(spearmanr(a, b).statistic)
+
+    def test_constant_returns_zero(self):
+        assert spearman_rho([5, 5, 5], [1, 2, 3]) == 0.0
+
+
+class TestTopK:
+    def test_top_k_indices_order(self):
+        scores = [0.1, 0.9, 0.5, 0.9]
+        # Stable: earlier of the tied 0.9s first.
+        assert list(top_k_indices(scores, 2)) == [1, 3]
+
+    def test_precision_at_k(self):
+        y = [False, True, False, True, False]
+        s = [0.1, 0.9, 0.2, 0.8, 0.3]
+        assert precision_at_k(y, s, 2) == 1.0
+        assert precision_at_k(y, s, 5) == pytest.approx(0.4)
+
+    def test_recall_at_k(self):
+        y = [False, True, False, True, False]
+        s = [0.1, 0.9, 0.2, 0.8, 0.3]
+        assert recall_at_k(y, s, 1) == pytest.approx(0.5)
+        assert recall_at_k(y, s, 2) == 1.0
+
+    def test_recall_no_positives(self):
+        assert recall_at_k([False, False], [0.1, 0.2], 1) == 0.0
+
+    def test_precision_at_n_outliers_equals_recall_there(self):
+        rng = np.random.default_rng(0)
+        y = rng.random(50) < 0.2
+        y[0] = True  # ensure at least one positive
+        s = rng.random(50)
+        k = int(y.sum())
+        assert precision_at_n_outliers(y, s) == pytest.approx(recall_at_k(y, s, k))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="k must be"):
+            precision_at_k([True, False], [1.0, 0.0], 3)
+        with pytest.raises(ValueError, match="length mismatch"):
+            precision_at_k([True], [1.0, 0.0], 1)
+
+    def test_perfect_detector(self):
+        y = np.zeros(100, dtype=bool)
+        y[:5] = True
+        s = np.where(y, 1.0, 0.0)
+        assert precision_at_k(y, s, 5) == 1.0
+        assert recall_at_k(y, s, 5) == 1.0
+
+
+class TestBootstrap:
+    @pytest.fixture(scope="class")
+    def labeled(self):
+        rng = np.random.default_rng(7)
+        y = np.zeros(200, dtype=bool)
+        y[:20] = True
+        s = np.where(y, rng.normal(2, 1, 200), rng.normal(0, 1, 200))
+        return y, s
+
+    def test_interval_brackets_estimate(self, labeled):
+        y, s = labeled
+        res = bootstrap_metric(auroc, y, s, n_resamples=200)
+        assert res.lower <= res.estimate <= res.upper
+        assert res.estimate in res
+
+    def test_interval_width_shrinks_with_confidence(self, labeled):
+        y, s = labeled
+        wide = bootstrap_metric(auroc, y, s, n_resamples=200, confidence=0.99)
+        narrow = bootstrap_metric(auroc, y, s, n_resamples=200, confidence=0.5)
+        assert (wide.upper - wide.lower) >= (narrow.upper - narrow.lower)
+
+    def test_reproducible(self, labeled):
+        y, s = labeled
+        a = bootstrap_metric(auroc, y, s, n_resamples=50, random_state=3)
+        b = bootstrap_metric(auroc, y, s, n_resamples=50, random_state=3)
+        assert (a.lower, a.upper) == (b.lower, b.upper)
+
+    def test_validation(self, labeled):
+        y, s = labeled
+        with pytest.raises(ValueError, match="confidence"):
+            bootstrap_metric(auroc, y, s, confidence=1.0)
+        with pytest.raises(ValueError, match="n_resamples"):
+            bootstrap_metric(auroc, y, s, n_resamples=0)
+        with pytest.raises(ValueError, match="both classes"):
+            bootstrap_metric(auroc, np.zeros(10, bool), np.arange(10.0))
+
+    def test_repr_mentions_confidence(self, labeled):
+        y, s = labeled
+        assert "95% CI" in repr(bootstrap_metric(auroc, y, s, n_resamples=20))

@@ -1,0 +1,104 @@
+"""Leaderboard: the programmatic Table IV."""
+
+import numpy as np
+import pytest
+
+from repro import McCatch
+from repro.baselines import LOF, IForest
+from repro.datasets.registry import LoadedDataset
+from repro.eval import Leaderboard, evaluate_detectors
+from repro.metric.strings import levenshtein
+
+
+def _toy_dataset(name: str, seed: int) -> LoadedDataset:
+    rng = np.random.default_rng(seed)
+    X = np.vstack([rng.normal(0, 1, (150, 2)), rng.uniform(8, 10, (5, 2))])
+    y = np.zeros(X.shape[0], dtype=bool)
+    y[150:] = True
+    return LoadedDataset(name=name, data=X, labels=y, metric=None)
+
+
+def _string_dataset() -> LoadedDataset:
+    words = ["smith", "smyth", "smitt", "smithe"] * 25 + ["xqwzkjy", "xqwzkjx"]
+    y = np.zeros(len(words), dtype=bool)
+    y[100:] = True
+    return LoadedDataset(name="toy-names", data=words, labels=y, metric=levenshtein)
+
+
+class TestEvaluateDetectors:
+    @pytest.fixture(scope="class")
+    def board(self) -> Leaderboard:
+        detectors = [McCatch(), LOF(), IForest(random_state=0)]
+        datasets = [_toy_dataset("toy-a", 0), _toy_dataset("toy-b", 1)]
+        return evaluate_detectors(detectors, datasets)
+
+    def test_every_cell_present(self, board):
+        assert len(board.cells) == 6
+        assert all(cell.ok for cell in board.cells)
+
+    def test_metrics_are_paper_trio(self, board):
+        assert set(board.cells[0].metrics) == {"auroc", "ap", "max_f1"}
+
+    def test_easy_data_scores_high(self, board):
+        for cell in board.cells:
+            assert cell.metrics["auroc"] > 0.9, (cell.detector, cell.dataset)
+
+    def test_harmonic_mean_ranks_cover_all_detectors(self, board):
+        hm = board.harmonic_mean_ranks("auroc")
+        assert set(hm) == {"McCatch", "LOF", "iForest"}
+        assert all(1.0 <= v <= 3.0 for v in hm.values())
+
+    def test_render_is_a_table(self, board):
+        text = board.render()
+        assert "dataset" in text and "h.mean rank" in text
+        assert "toy-a" in text and "toy-b" in text
+
+    def test_timing_recorded(self, board):
+        assert all(cell.seconds >= 0 for cell in board.cells)
+
+
+class TestFailureHandling:
+    def test_baseline_fails_on_metric_data_mccatch_succeeds(self):
+        board = evaluate_detectors([McCatch(), LOF()], [_string_dataset()])
+        by_name = {c.detector: c for c in board.cells}
+        assert by_name["McCatch"].ok
+        assert not by_name["LOF"].ok
+        assert "vector data" in by_name["LOF"].error
+
+    def test_failed_cells_do_not_compete(self):
+        board = evaluate_detectors([McCatch(), LOF()], [_string_dataset()])
+        hm = board.harmonic_mean_ranks("auroc")
+        assert "LOF" not in hm
+        assert hm["McCatch"] == 1.0
+
+    def test_failures_listed(self):
+        board = evaluate_detectors([LOF()], [_string_dataset()])
+        assert len(board.failures()) == 1
+        assert "fail" in board.render()
+
+
+class TestValidation:
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError, match="detector"):
+            evaluate_detectors([], [_toy_dataset("x", 0)])
+        with pytest.raises(ValueError, match="dataset"):
+            evaluate_detectors([McCatch()], [])
+
+    def test_unlabeled_dataset_rejected(self):
+        ds = LoadedDataset(name="nolabels", data=np.zeros((10, 2)), labels=None, metric=None)
+        with pytest.raises(ValueError, match="no labels"):
+            evaluate_detectors([McCatch()], [ds])
+
+    def test_named_datasets_loaded(self):
+        board = evaluate_detectors([IForest(random_state=0)], ["wine"], scale=1.0)
+        assert board.cells[0].dataset == "wine"
+        assert board.cells[0].ok
+
+    def test_custom_metric_functions(self):
+        from repro.eval import precision_at_n_outliers
+
+        board = evaluate_detectors(
+            [McCatch()], [_toy_dataset("toy", 2)],
+            metrics={"p@n": precision_at_n_outliers},
+        )
+        assert set(board.cells[0].metrics) == {"p@n"}

@@ -1,0 +1,55 @@
+"""Smoke tests: the fast example scripts must run end-to-end.
+
+Examples are user-facing documentation; a broken example is a broken
+promise.  Each script runs in a subprocess with the repo's interpreter
+and must exit 0.  Only the fast examples are exercised here — the
+heavyweight comparisons (compare_detectors) are bench territory.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "streaming_logs.py",
+    "join_principles.py",
+    "html_report.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, tmp_path):
+    args = [sys.executable, str(EXAMPLES / script)]
+    if script == "html_report.py":
+        args.append(str(tmp_path))  # keep artifacts out of the repo
+    proc = subprocess.run(
+        args, capture_output=True, text=True, timeout=600, cwd=tmp_path
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), f"{script} produced no output"
+
+
+def test_html_report_example_writes_artifacts(tmp_path):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "html_report.py"), str(tmp_path)],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert (tmp_path / "mccatch_report.html").exists()
+    assert (tmp_path / "mccatch_result.json").exists()
+    assert (tmp_path / "mccatch_result.md").exists()
+
+
+def test_every_example_has_docstring_and_main_guard_or_script_style():
+    """Each example is a documented, runnable script."""
+    for path in EXAMPLES.glob("*.py"):
+        text = path.read_text()
+        assert text.startswith('"""'), f"{path.name} lacks a module docstring"
+        assert "Run:" in text or "python examples/" in text, (
+            f"{path.name} should say how to run it"
+        )

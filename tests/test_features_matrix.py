@@ -1,0 +1,44 @@
+"""Tests for the Table I feature matrix metadata."""
+
+import pytest
+
+from repro.baselines import all_detectors
+from repro.baselines.features import PROPERTY_LABELS, TABLE1, format_feature_matrix
+
+
+class TestTable1:
+    def test_mccatch_meets_every_spec(self):
+        row = TABLE1["McCatch"]
+        for attr, _ in PROPERTY_LABELS:
+            assert getattr(row, attr), f"McCatch must satisfy {attr}"
+
+    def test_no_competitor_meets_every_goal(self):
+        goals = ("general_input", "general_output", "principled", "scalable", "hands_off")
+        for name, row in TABLE1.items():
+            if name == "McCatch":
+                continue
+            assert not all(getattr(row, attr) for attr in goals), name
+
+    def test_gen2out_is_the_only_other_group_scorer(self):
+        scorers = [n for n, r in TABLE1.items() if r.general_output]
+        assert sorted(scorers) == ["Gen2Out", "McCatch"]
+
+    def test_every_implemented_detector_has_a_row(self):
+        for det in all_detectors():
+            assert det.name in TABLE1, det.name
+
+    def test_determinism_flags_match_implementations(self):
+        for det in all_detectors():
+            # A method flagged deterministic in Table I must be
+            # implemented deterministically (the converse can differ:
+            # our seeded implementations of nondeterministic methods).
+            if TABLE1[det.name].deterministic:
+                assert det.deterministic, det.name
+
+    def test_matrix_renders(self):
+        text = format_feature_matrix()
+        assert "McCatch" in text
+        assert "G1 General Input" in text
+        # Every property row present.
+        for _, label in PROPERTY_LABELS:
+            assert label in text

@@ -1,0 +1,131 @@
+"""Behavioural checks of the paper's five goals (Table I / Sec. I).
+
+G1 General Input — works on any metric dataset, vectors or not.
+G2 General Output — ranks singleton and nonsingleton mcs together.
+G3 Principled — obeys the Isolation and Cardinality axioms.
+G4 Scalable — subquadratic runtime growth.
+G5 'Hands-Off' — defaults work untouched; results insensitive nearby.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import McCatch
+from repro.datasets import make_axiom_dataset, make_last_names, make_skeletons, uniform_cube
+from repro.eval import auroc, fit_loglog_slope, run_axiom_trial
+from repro.metric.strings import levenshtein
+from repro.metric.trees import tree_edit_distance
+
+
+class TestG1GeneralInput:
+    def test_vector_data(self, blob_with_mc):
+        X, labels = blob_with_mc
+        assert auroc((labels > 0).astype(int), McCatch().fit(X).point_scores) > 0.95
+
+    def test_string_data(self):
+        names, y = make_last_names(n_inliers=150, n_outliers=8, random_state=0)
+        result = McCatch().fit(names, levenshtein)
+        assert auroc(y, result.point_scores) > 0.7
+
+    def test_tree_data(self):
+        trees, y = make_skeletons(n_humans=25, n_animals=3, random_state=0)
+        result = McCatch().fit(trees, tree_edit_distance)
+        assert auroc(y, result.point_scores) > 0.9
+
+    def test_custom_callable_metric(self):
+        data = list(range(50)) + [500, 501]
+        result = McCatch().fit(data, lambda a, b: float(abs(a - b)))
+        assert {50, 51} <= set(map(int, result.outlier_indices))
+
+
+class TestG2GeneralOutput:
+    def test_singletons_and_clusters_in_one_ranking(self, blob_with_mc):
+        X, _ = blob_with_mc
+        result = McCatch().fit(X)
+        cards = {m.cardinality for m in result.microclusters}
+        assert 1 in cards and max(cards) >= 8
+        assert [m.score for m in result.microclusters] == sorted(
+            (m.score for m in result.microclusters), reverse=True
+        )
+
+
+class TestG3Principled:
+    @pytest.mark.parametrize("shape", ["gaussian", "cross", "arc"])
+    def test_isolation_axiom(self, shape):
+        ds = make_axiom_dataset(shape, "isolation", n_inliers=2000, random_state=0)
+        t = run_axiom_trial(ds)
+        assert t.found_both
+        assert t.green_score >= t.red_score
+
+    @pytest.mark.parametrize("shape", ["gaussian", "cross", "arc"])
+    def test_cardinality_axiom(self, shape):
+        ds = make_axiom_dataset(shape, "cardinality", n_inliers=2000, random_state=0)
+        t = run_axiom_trial(ds)
+        assert t.found_both
+        assert t.green_score > t.red_score
+
+
+class TestG4Scalable:
+    def test_subquadratic_on_uniform(self):
+        sizes = [1000, 2000, 4000, 8000]
+        seconds = []
+        for n in sizes:
+            X = uniform_cube(n, 2, random_state=0)
+            t0 = time.perf_counter()
+            McCatch().fit(X)
+            seconds.append(time.perf_counter() - t0)
+        slope = fit_loglog_slope(sizes, seconds)
+        assert slope < 1.9  # clearly below quadratic
+
+
+class TestG5HandsOff:
+    def test_defaults_work_on_diverse_data(self, blob_with_mc):
+        X, labels = blob_with_mc
+        y = (labels > 0).astype(int)
+        assert auroc(y, McCatch().fit(X).point_scores) > 0.95
+
+    def test_insensitive_to_a(self, blob_with_mc):
+        X, labels = blob_with_mc
+        y = (labels > 0).astype(int)
+        values = [auroc(y, McCatch(n_radii=a).fit(X).point_scores) for a in (13, 15, 17)]
+        assert max(values) - min(values) < 0.05
+
+    def test_insensitive_to_b(self, blob_with_mc):
+        X, labels = blob_with_mc
+        y = (labels > 0).astype(int)
+        values = [
+            auroc(y, McCatch(max_slope=b).fit(X).point_scores) for b in (0.08, 0.10, 0.12)
+        ]
+        assert max(values) - min(values) < 0.05
+
+    def test_insensitive_to_c(self, blob_with_mc):
+        X, labels = blob_with_mc
+        y = (labels > 0).astype(int)
+        values = [
+            auroc(y, McCatch(max_cardinality_fraction=f).fit(X).point_scores)
+            for f in (0.08, 0.10, 0.12)
+        ]
+        assert max(values) - min(values) < 0.05
+
+
+class TestDeterminismAndExplainability:
+    """The two extra Table I rows: deterministic, explainable results."""
+
+    def test_deterministic_across_runs(self, blob_with_mc):
+        X, _ = blob_with_mc
+        a = McCatch().fit(X)
+        b = McCatch().fit(X)
+        assert np.array_equal(a.point_scores, b.point_scores)
+
+    def test_oracle_plot_explains_detection(self, blob_with_mc):
+        # Every detected outlier is justified by its Oracle-plot rungs.
+        X, _ = blob_with_mc
+        res = McCatch().fit(X)
+        cut = res.cutoff.index
+        for i in res.outlier_indices:
+            assert (
+                res.oracle.first_end_index[i] >= cut
+                or res.oracle.middle_end_index[i] >= cut
+            )

@@ -1,0 +1,68 @@
+"""Regression: M-tree splits under heavy duplication.
+
+With many identical elements the mM_RAD promotion can pick two pivots
+at distance 0; the generalized-hyperplane partition then sends every
+entry to one side.  Before the balanced-split fallback this produced an
+empty internal node and crashed subtree choice on the next insert.
+"""
+
+import numpy as np
+import pytest
+
+from repro.index import BruteForceIndex, MTree, SlimTree
+from repro.metric.base import MetricSpace
+from repro.metric.strings import levenshtein
+
+
+def _duplicate_heavy_strings(n: int = 300) -> MetricSpace:
+    rng = np.random.default_rng(0)
+    syllables = ["son", "ton", "ley", "field", "smith", "er", "man", "well", "ford"]
+    words = ["".join(rng.choice(syllables, size=rng.integers(2, 4))) for _ in range(n)]
+    return MetricSpace(words, levenshtein)
+
+
+class TestMTreeDuplicates:
+    def test_builds_and_counts_on_duplicate_heavy_strings(self):
+        space = _duplicate_heavy_strings()
+        tree = MTree(space, capacity=4)  # small capacity forces many splits
+        brute = BruteForceIndex(space)
+        q = np.arange(len(space))
+        for r in (0.0, 1.0, 3.0):
+            assert np.array_equal(tree.count_within(q, r), brute.count_within(q, r))
+
+    def test_all_identical_elements(self):
+        space = MetricSpace(["same"] * 100, levenshtein)
+        tree = MTree(space, capacity=4)
+        assert tree.count_within([0], 0.0)[0] == 100
+
+    def test_two_values_only(self):
+        space = MetricSpace(["aaaa", "bbbb"] * 60, levenshtein)
+        tree = MTree(space, capacity=4)
+        brute = BruteForceIndex(space)
+        q = np.arange(len(space))
+        for r in (0.0, 3.9, 4.0):
+            assert np.array_equal(tree.count_within(q, r), brute.count_within(q, r))
+
+    def test_vector_duplicates(self):
+        rng = np.random.default_rng(1)
+        X = np.repeat(rng.normal(size=(10, 2)), 30, axis=0)
+        space = MetricSpace(X)
+        tree = MTree(space, capacity=4)
+        brute = BruteForceIndex(space)
+        q = np.arange(len(space))
+        r = 0.5
+        assert np.array_equal(tree.count_within(q, r), brute.count_within(q, r))
+
+
+class TestSlimTreeDuplicates:
+    @pytest.mark.parametrize("words", [
+        ["same"] * 80,
+        ["aaaa", "bbbb"] * 40,
+    ])
+    def test_slimtree_survives_duplicates(self, words):
+        space = MetricSpace(words, levenshtein)
+        tree = SlimTree(space)
+        brute = BruteForceIndex(space)
+        q = np.arange(len(space))
+        for r in (0.0, 4.0):
+            assert np.array_equal(tree.count_within(q, r), brute.count_within(q, r))

@@ -1,0 +1,182 @@
+"""IO: CSV/string loaders and McCatchResult JSON round-trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import McCatch
+from repro.io import (
+    load_labeled_csv,
+    load_result_json,
+    load_strings,
+    load_vectors_csv,
+    result_from_dict,
+    result_to_dict,
+    result_to_markdown,
+    save_result_json,
+    save_strings,
+    save_vectors_csv,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(3)
+    X = np.vstack([rng.normal(0, 1, (200, 3)), [[7.0, 7.0, 7.0], [7.1, 7.0, 7.0]]])
+    return X, McCatch().fit(X)
+
+
+class TestVectorsCsv:
+    def test_round_trip_exact(self, tmp_path):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(25, 4))
+        path = save_vectors_csv(tmp_path / "x.csv", X)
+        back = load_vectors_csv(path)
+        assert np.array_equal(back, X)  # repr() round-trips float64 exactly
+
+    def test_header_round_trip(self, tmp_path):
+        X = np.arange(6, dtype=float).reshape(3, 2)
+        path = save_vectors_csv(tmp_path / "x.csv", X, header=["a", "b"])
+        assert np.array_equal(load_vectors_csv(path), X)  # auto-skip header
+
+    def test_explicit_skip_header(self, tmp_path):
+        (tmp_path / "x.csv").write_text("1,2\n3,4\n")
+        assert load_vectors_csv(tmp_path / "x.csv", skip_header=True).shape == (1, 2)
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        (tmp_path / "bad.csv").write_text("1,2\n3\n")
+        with pytest.raises(ValueError, match="row 2 has 1 fields"):
+            load_vectors_csv(tmp_path / "bad.csv")
+
+    def test_non_numeric_rejected(self, tmp_path):
+        (tmp_path / "bad.csv").write_text("a,b\n1,2\n3,oops\n")
+        with pytest.raises(ValueError, match="not numeric"):
+            load_vectors_csv(tmp_path / "bad.csv")
+
+    def test_empty_file_rejected(self, tmp_path):
+        (tmp_path / "empty.csv").write_text("")
+        with pytest.raises(ValueError, match="no data rows"):
+            load_vectors_csv(tmp_path / "empty.csv")
+
+    def test_header_only_rejected(self, tmp_path):
+        (tmp_path / "h.csv").write_text("a,b\n")
+        with pytest.raises(ValueError, match="header only"):
+            load_vectors_csv(tmp_path / "h.csv")
+
+    def test_save_validates(self, tmp_path):
+        with pytest.raises(ValueError, match="2-d"):
+            save_vectors_csv(tmp_path / "x.csv", np.zeros(3))
+        with pytest.raises(ValueError, match="header has"):
+            save_vectors_csv(tmp_path / "x.csv", np.zeros((2, 2)), header=["only-one"])
+
+
+class TestLabeledCsv:
+    def test_basic(self, tmp_path):
+        (tmp_path / "d.csv").write_text("f1,f2,label\n1,2,0\n3,4,1\n5,6,no\n7,8,yes\n")
+        X, y = load_labeled_csv(tmp_path / "d.csv")
+        assert X.shape == (4, 2)
+        assert list(y) == [False, True, False, True]
+
+    def test_label_column_position(self, tmp_path):
+        (tmp_path / "d.csv").write_text("outlier,1.0,2.0\ninlier,3.0,4.0\n")
+        X, y = load_labeled_csv(tmp_path / "d.csv", label_column=0)
+        assert X.shape == (2, 2)
+        assert list(y) == [True, False]
+
+    def test_bad_label_rejected(self, tmp_path):
+        # A valid first row, then a malformed label (a lone bad first row
+        # would be mistaken for a header by the auto-detection).
+        (tmp_path / "d.csv").write_text("1,2,0\n1,2,maybe\n")
+        with pytest.raises(ValueError, match="cannot parse label"):
+            load_labeled_csv(tmp_path / "d.csv")
+
+
+class TestStrings:
+    def test_round_trip(self, tmp_path):
+        names = ["smith", "müller", "garcía"]
+        path = save_strings(tmp_path / "names.txt", names)
+        assert load_strings(path) == names
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        (tmp_path / "n.txt").write_text("# header\n\nsmith\n\njones\n")
+        assert load_strings(tmp_path / "n.txt") == ["smith", "jones"]
+
+    def test_newline_rejected_on_save(self, tmp_path):
+        with pytest.raises(ValueError, match="newline"):
+            save_strings(tmp_path / "n.txt", ["a\nb"])
+
+    def test_empty_rejected(self, tmp_path):
+        (tmp_path / "n.txt").write_text("# only comments\n")
+        with pytest.raises(ValueError, match="no strings"):
+            load_strings(tmp_path / "n.txt")
+
+
+class TestResultRoundTrip:
+    def test_dict_round_trip_preserves_everything(self, fitted):
+        _, result = fitted
+        back = result_from_dict(result_to_dict(result))
+        assert back.n == result.n
+        assert np.array_equal(back.point_scores, result.point_scores)
+        assert np.array_equal(back.oracle.x, result.oracle.x)
+        assert np.array_equal(back.oracle.y, result.oracle.y)
+        assert np.array_equal(back.oracle.radii, result.oracle.radii)
+        assert np.array_equal(back.oracle.counts, result.oracle.counts)
+        assert back.cutoff.value == result.cutoff.value
+        assert back.cutoff.index == result.cutoff.index
+        assert len(back.microclusters) == len(result.microclusters)
+        for a, b in zip(back.microclusters, result.microclusters):
+            assert np.array_equal(a.indices, b.indices)
+            assert a.score == b.score
+            assert a.bridge_length == b.bridge_length
+
+    def test_json_file_round_trip(self, fitted, tmp_path):
+        _, result = fitted
+        path = save_result_json(result, tmp_path / "run.json")
+        back = load_result_json(path)
+        assert np.array_equal(back.point_scores, result.point_scores)
+        # The file itself is plain JSON.
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == 1
+
+    def test_infinite_cutoff_survives(self, fitted):
+        from dataclasses import replace
+
+        _, result = fitted
+        patched = type(result)(
+            microclusters=[],
+            point_scores=result.point_scores,
+            oracle=result.oracle,
+            cutoff=replace(result.cutoff, value=float("inf"), index=-1),
+            n=result.n,
+        )
+        back = result_from_dict(result_to_dict(patched))
+        assert np.isinf(back.cutoff.value)
+
+    def test_unknown_version_rejected(self, fitted):
+        _, result = fitted
+        payload = result_to_dict(result)
+        payload["format_version"] = 999
+        with pytest.raises(ValueError, match="format version"):
+            result_from_dict(payload)
+
+    def test_labels_and_properties_work_after_reload(self, fitted):
+        _, result = fitted
+        back = result_from_dict(result_to_dict(result))
+        assert np.array_equal(back.labels, result.labels)
+        assert back.n_outliers == result.n_outliers
+
+
+class TestMarkdown:
+    def test_table_structure(self, fitted):
+        _, result = fitted
+        md = result_to_markdown(result)
+        assert md.splitlines()[0].startswith("# McCatch result")
+        assert "| rank |" in md
+        assert "| 0 |" in md
+
+    def test_row_cap(self, fitted):
+        _, result = fitted
+        md = result_to_markdown(result, max_rows=1)
+        if len(result.microclusters) > 1:
+            assert "more microclusters" in md

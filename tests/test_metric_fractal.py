@@ -1,0 +1,109 @@
+"""Tests for repro.metric.fractal: correlation dimension estimation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import diagonal_line, uniform_cube
+from repro.metric.fractal import (
+    correlation_dimension,
+    correlation_integral,
+    expected_runtime_slope,
+)
+from repro.metric.strings import levenshtein
+
+
+class TestCorrelationIntegral:
+    def test_monotone_nondecreasing(self):
+        X = uniform_cube(300, 2, random_state=0)
+        radii, C = correlation_integral(X, random_state=0)
+        assert (np.diff(C) >= 0).all()
+        assert C[-1] == pytest.approx(1.0)
+
+    def test_increasing_radii(self):
+        X = uniform_cube(200, 3, random_state=1)
+        radii, _ = correlation_integral(X, random_state=0)
+        assert (np.diff(radii) > 0).all()
+
+    def test_rejects_tiny_dataset(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            correlation_integral(np.zeros((2, 2)))
+
+    def test_rejects_coincident_points(self):
+        with pytest.raises(ValueError, match="coincide"):
+            correlation_integral(np.zeros((10, 2)))
+
+
+class TestCorrelationDimension:
+    def test_uniform_2d(self):
+        X = uniform_cube(1500, 2, random_state=0)
+        u = correlation_dimension(X, random_state=0)
+        assert 1.5 <= u <= 2.5
+
+    def test_uniform_5d_higher_than_2d(self):
+        u2 = correlation_dimension(uniform_cube(1500, 2, random_state=0), random_state=0)
+        u5 = correlation_dimension(uniform_cube(1500, 5, random_state=0), random_state=0)
+        assert u5 > u2
+
+    def test_diagonal_is_one_dimensional(self):
+        X = diagonal_line(1500, 10, random_state=0)
+        u = correlation_dimension(X, random_state=0)
+        assert 0.7 <= u <= 1.3
+
+    def test_subsampling_path(self):
+        # More points than sample_size exercises the subsample branch.
+        X = uniform_cube(500, 2, random_state=0)
+        u = correlation_dimension(X, sample_size=200, random_state=0)
+        assert 1.3 <= u <= 2.7
+
+    def test_nondimensional_data(self):
+        words = [w + s for w in ("AAA", "BBB", "CCC", "DDD") for s in
+                 ("", "X", "XY", "XYZ", "XYZW", "Q", "QR", "QRS")]
+        u = correlation_dimension(words, levenshtein, random_state=0)
+        assert u > 0
+
+
+class TestExpectedSlope:
+    def test_formula(self):
+        assert expected_runtime_slope(1.0) == pytest.approx(1.0)
+        assert expected_runtime_slope(2.0) == pytest.approx(1.5)
+        assert expected_runtime_slope(20.0) == pytest.approx(1.95)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            expected_runtime_slope(0.0)
+
+
+class TestNondimensionalFractalDimension:
+    """Footnote 7: the fractal dimension needs only distances, so it is
+    computable for strings, sequences, and sets — the quantity Lemma 1's
+    complexity bound depends on for nondimensional data."""
+
+    def test_random_strings_have_positive_dimension(self):
+        import numpy as np
+        from repro.metric.strings import levenshtein
+
+        rng = np.random.default_rng(0)
+        words = ["".join(rng.choice(list("ABCDEF"), size=rng.integers(3, 10)))
+                 for _ in range(120)]
+        u = correlation_dimension(words, metric=levenshtein)
+        assert 0.5 < u < 20.0
+
+    def test_token_sequences(self):
+        import numpy as np
+        from repro.metric.sequences import sequence_edit_distance
+
+        rng = np.random.default_rng(1)
+        seqs = [tuple(rng.choice(["a", "b", "c"], size=rng.integers(3, 9)))
+                for _ in range(100)]
+        u = correlation_dimension(seqs, metric=sequence_edit_distance)
+        assert u > 0.0
+
+    def test_set_data_under_jaccard(self):
+        import numpy as np
+        from repro.metric.sets import jaccard_distance
+
+        rng = np.random.default_rng(2)
+        baskets = [frozenset(rng.choice(20, size=rng.integers(2, 8), replace=False))
+                   for _ in range(100)]
+        u = correlation_dimension(baskets, metric=jaccard_distance)
+        assert u > 0.0

@@ -1,0 +1,202 @@
+"""Sequence metrics: known values, metric axioms (hypothesis), and the
+ERP-vs-DTW relationship."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metric.sequences import (
+    dtw,
+    erp,
+    hamming,
+    lcs_distance,
+    sequence_edit_distance,
+    transformation_cost_for_sequences,
+)
+
+tokens = st.lists(st.sampled_from(["A", "C", "G", "T"]), max_size=12).map(tuple)
+series = st.lists(
+    st.floats(-10, 10, allow_nan=False, allow_infinity=False), min_size=1, max_size=10
+)
+
+
+class TestHamming:
+    def test_known_value(self):
+        assert hamming("ACGT", "ACCT") == 1.0
+        assert hamming([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="equal lengths"):
+            hamming("AB", "ABC")
+
+    @given(st.integers(1, 8), st.integers(0, 10_000))
+    def test_metric_axioms(self, length, seed):
+        rng = np.random.default_rng(seed)
+        a, b, c = (tuple(rng.integers(0, 3, length)) for _ in range(3))
+        assert hamming(a, a) == 0.0
+        assert hamming(a, b) == hamming(b, a)
+        assert hamming(a, c) <= hamming(a, b) + hamming(b, c)
+
+
+class TestSequenceEditDistance:
+    def test_matches_string_levenshtein(self):
+        from repro.metric.strings import levenshtein
+
+        pairs = [("kitten", "sitting"), ("", "abc"), ("flaw", "lawn"), ("abc", "abc")]
+        for a, b in pairs:
+            assert sequence_edit_distance(tuple(a), tuple(b)) == levenshtein(a, b)
+
+    def test_token_granularity(self):
+        # As token sequences these differ by ONE substitution; as strings
+        # they would differ by many characters.
+        a = ("open", "read", "close")
+        b = ("open", "write", "close")
+        assert sequence_edit_distance(a, b) == 1.0
+
+    @given(tokens, tokens)
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry_and_identity(self, a, b):
+        assert sequence_edit_distance(a, a) == 0.0
+        assert sequence_edit_distance(a, b) == sequence_edit_distance(b, a)
+        if a != b:
+            assert sequence_edit_distance(a, b) >= 1.0
+
+    @given(tokens, tokens, tokens)
+    @settings(max_examples=40, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        d_ac = sequence_edit_distance(a, c)
+        d_ab = sequence_edit_distance(a, b)
+        d_bc = sequence_edit_distance(b, c)
+        assert d_ac <= d_ab + d_bc
+
+    def test_bounds(self):
+        a, b = ("x",) * 5, ("y",) * 3
+        d = sequence_edit_distance(a, b)
+        assert max(len(a), len(b)) - min(len(a), len(b)) <= d <= max(len(a), len(b))
+
+
+class TestLCSDistance:
+    def test_known_value(self):
+        # LCS("ABCBDAB", "BDCABA") = 4 ("BCBA"/"BDAB"), distance 7+6-8=5
+        assert lcs_distance("ABCBDAB", "BDCABA") == 5.0
+
+    def test_empty(self):
+        assert lcs_distance("", "") == 0.0
+        assert lcs_distance("abc", "") == 3.0
+
+    @given(tokens, tokens)
+    @settings(max_examples=60, deadline=None)
+    def test_dominates_edit_distance(self, a, b):
+        # Forbidding replacement can only lengthen the script.
+        assert lcs_distance(a, b) >= sequence_edit_distance(a, b)
+
+    @given(tokens, tokens, tokens)
+    @settings(max_examples=40, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert lcs_distance(a, c) <= lcs_distance(a, b) + lcs_distance(b, c) + 1e-12
+
+
+class TestERP:
+    def test_identical_series(self):
+        assert erp([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_reduces_to_l1_for_equal_lengths_when_aligned(self):
+        # With no length difference and monotone values the optimal ERP
+        # alignment is the diagonal: plain L1.
+        a, b = [1.0, 2.0, 3.0], [1.5, 2.5, 3.5]
+        assert erp(a, b) == pytest.approx(1.5)
+
+    def test_empty_side_costs_gap_mass(self):
+        assert erp([], [1.0, -2.0], gap=0.0) == pytest.approx(3.0)
+
+    def test_gap_parameter(self):
+        assert erp([5.0], [], gap=5.0) == 0.0
+
+    @given(series, series)
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry_and_nonnegativity(self, a, b):
+        assert erp(a, b) >= 0.0
+        assert erp(a, b) == pytest.approx(erp(b, a))
+
+    @given(series, series, series)
+    @settings(max_examples=40, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert erp(a, c) <= erp(a, b) + erp(b, c) + 1e-9
+
+
+class TestDTW:
+    def test_identical(self):
+        assert dtw([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_elastic_alignment_beats_l1(self):
+        # A time-shifted copy is cheap under DTW, expensive pointwise.
+        a = [0.0, 0.0, 1.0, 2.0, 1.0, 0.0]
+        b = [0.0, 1.0, 2.0, 1.0, 0.0, 0.0]
+        assert dtw(a, b) == 0.0
+        assert np.abs(np.array(a) - np.array(b)).sum() > 0
+
+    def test_window_constrains(self):
+        a = list(np.sin(np.linspace(0, 3, 20)))
+        b = list(np.sin(np.linspace(0.5, 3.5, 20)))
+        unconstrained = dtw(a, b)
+        banded = dtw(a, b, window=1)
+        assert banded >= unconstrained
+
+    def test_not_a_metric_documented_counterexample(self):
+        # Triangle-inequality failure: b's elastic alignment absorbs the
+        # middle samples that cost a directly against c.
+        a, b, c = [2.0, 2.0, 0.0], [2.0, 0.0, 1.0], [0.0, 1.0]
+        assert dtw(a, c) > dtw(a, b) + dtw(b, c)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="nonempty"):
+            dtw([], [1.0])
+
+    def test_negative_window_raises(self):
+        with pytest.raises(ValueError, match="window"):
+            dtw([1.0], [1.0], window=-1)
+
+    @given(series, series)
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry(self, a, b):
+        assert dtw(a, b) == pytest.approx(dtw(b, a))
+
+    @given(series)
+    @settings(max_examples=30, deadline=None)
+    def test_erp_upper_bounds_dtw_at_zero_gap_for_same_series(self, a):
+        # Both vanish on identical inputs.
+        assert dtw(a, a) == 0.0
+        assert erp(a, a) == 0.0
+
+
+class TestTransformationCost:
+    def test_positive_and_monotone_in_alphabet(self):
+        small = transformation_cost_for_sequences([("A", "B"), ("B",)])
+        large = transformation_cost_for_sequences([tuple("ABCDEFGH"), tuple("IJKLMNOP")])
+        assert 0 < small < large
+
+    def test_empty_sequences_ok(self):
+        assert transformation_cost_for_sequences([(), ()]) > 0
+
+
+class TestMcCatchOnSequences:
+    def test_detects_planted_odd_sequences(self):
+        """McCatch over syscall-like token sequences (goal G1)."""
+        from repro import McCatch
+
+        rng = np.random.default_rng(5)
+        vocab = ["open", "read", "write", "close", "stat", "seek"]
+        data = [
+            tuple(rng.choice(vocab, size=rng.integers(4, 9)))
+            for _ in range(120)
+        ]
+        # Two near-identical attack traces, far from every normal trace.
+        attack = ("exec", "fork") * 10
+        data.append(attack)
+        data.append(attack[:-1] + ("socket",))
+        result = McCatch(index="vptree").fit(data, metric=sequence_edit_distance)
+        flagged = {int(i) for m in result.microclusters for i in m.indices}
+        assert {120, 121} <= flagged
+        pair = [m for m in result.microclusters if set(m.indices) == {120, 121}]
+        assert len(pair) == 1 and pair[0].cardinality == 2

@@ -1,0 +1,147 @@
+"""Set metrics: known values and metric axioms (hypothesis)."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metric.sets import (
+    jaccard_distance,
+    ngram_jaccard,
+    ngram_profile,
+    symmetric_difference_distance,
+    weighted_jaccard_distance,
+)
+
+small_sets = st.frozensets(st.integers(0, 12), max_size=8)
+weight_vectors = st.lists(st.floats(0, 10, allow_nan=False), min_size=3, max_size=3)
+
+
+class TestJaccard:
+    def test_known_values(self):
+        assert jaccard_distance({1, 2}, {2, 3}) == pytest.approx(1 - 1 / 3)
+        assert jaccard_distance({1}, {1}) == 0.0
+        assert jaccard_distance({1}, {2}) == 1.0
+
+    def test_empty_sets(self):
+        assert jaccard_distance(set(), set()) == 0.0
+        assert jaccard_distance(set(), {1}) == 1.0
+
+    def test_accepts_iterables(self):
+        assert jaccard_distance([1, 2, 2], (2, 3)) == pytest.approx(1 - 1 / 3)
+
+    @given(small_sets, small_sets)
+    @settings(max_examples=80, deadline=None)
+    def test_symmetry_identity_bounds(self, a, b):
+        assert jaccard_distance(a, a) == 0.0
+        assert jaccard_distance(a, b) == jaccard_distance(b, a)
+        assert 0.0 <= jaccard_distance(a, b) <= 1.0
+
+    @given(small_sets, small_sets, small_sets)
+    @settings(max_examples=80, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert jaccard_distance(a, c) <= (
+            jaccard_distance(a, b) + jaccard_distance(b, c) + 1e-12
+        )
+
+
+class TestSymmetricDifference:
+    def test_known_value(self):
+        assert symmetric_difference_distance({1, 2, 3}, {3, 4}) == 3.0
+
+    @given(small_sets, small_sets, small_sets)
+    @settings(max_examples=80, deadline=None)
+    def test_metric_axioms(self, a, b, c):
+        assert symmetric_difference_distance(a, a) == 0.0
+        d_ab = symmetric_difference_distance(a, b)
+        assert d_ab == symmetric_difference_distance(b, a)
+        assert symmetric_difference_distance(a, c) <= d_ab + symmetric_difference_distance(b, c)
+
+
+class TestWeightedJaccard:
+    def test_counter_form(self):
+        a = Counter({"x": 2, "y": 1})
+        b = Counter({"x": 1, "z": 1})
+        # min-sum = 1, max-sum = 2 + 1 + 1 = 4
+        assert weighted_jaccard_distance(a, b) == pytest.approx(0.75)
+
+    def test_vector_form(self):
+        assert weighted_jaccard_distance([1.0, 0.0], [1.0, 0.0]) == 0.0
+        assert weighted_jaccard_distance([1.0, 0.0], [0.0, 1.0]) == 1.0
+
+    def test_reduces_to_jaccard_on_indicators(self):
+        a, b = {1, 2}, {2, 3}
+        va = [1.0, 1.0, 0.0]
+        vb = [0.0, 1.0, 1.0]
+        assert weighted_jaccard_distance(va, vb) == pytest.approx(jaccard_distance(a, b))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            weighted_jaccard_distance([-1.0, 0.0], [0.0, 1.0])
+        with pytest.raises(ValueError, match="nonnegative"):
+            weighted_jaccard_distance(Counter({"a": -1}), Counter())
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="lengths differ"):
+            weighted_jaccard_distance([1.0], [1.0, 2.0])
+
+    def test_both_zero(self):
+        assert weighted_jaccard_distance([0.0, 0.0], [0.0, 0.0]) == 0.0
+
+    @given(weight_vectors, weight_vectors, weight_vectors)
+    @settings(max_examples=80, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        d_ac = weighted_jaccard_distance(a, c)
+        d_ab = weighted_jaccard_distance(a, b)
+        d_bc = weighted_jaccard_distance(b, c)
+        assert d_ac <= d_ab + d_bc + 1e-9
+
+
+class TestNgramProfile:
+    def test_padding_marks_affixes(self):
+        p = ngram_profile("ab", n=2)
+        assert "\x00a" in p and "b\x00" in p and "ab" in p
+
+    def test_no_padding(self):
+        assert ngram_profile("abcd", n=2, pad=False) == frozenset({"ab", "bc", "cd"})
+
+    def test_short_string(self):
+        assert ngram_profile("", n=3, pad=False) == frozenset()
+        assert ngram_profile("a", n=3, pad=False) == frozenset({"a"})
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError, match="n must be"):
+            ngram_profile("abc", n=0)
+
+    def test_ngram_jaccard_separates_unrelated_words(self):
+        near = ngram_jaccard("johnson", "johnsen")
+        far = ngram_jaccard("johnson", "xylophone")
+        assert near < far
+
+    @given(st.text(alphabet="abcde", max_size=10), st.text(alphabet="abcde", max_size=10))
+    @settings(max_examples=60, deadline=None)
+    def test_ngram_jaccard_is_pseudometric(self, a, b):
+        assert ngram_jaccard(a, a) == 0.0
+        assert ngram_jaccard(a, b) == ngram_jaccard(b, a)
+        assert 0.0 <= ngram_jaccard(a, b) <= 1.0
+
+
+class TestMcCatchOnSets:
+    def test_detects_odd_baskets(self):
+        """Market-basket microclusters under Jaccard distance."""
+        from repro import McCatch
+
+        rng = np.random.default_rng(9)
+        staples = ["bread", "milk", "eggs", "butter", "coffee", "tea"]
+        baskets = [
+            frozenset(rng.choice(staples, size=rng.integers(2, 5), replace=False))
+            for _ in range(150)
+        ]
+        weird = [frozenset({"acetone", "peroxide", "fuse"}),
+                 frozenset({"acetone", "peroxide", "timer"})]
+        data = baskets + weird
+        result = McCatch(index="vptree").fit(data, metric=jaccard_distance)
+        flagged = {int(i) for m in result.microclusters for i in m.indices}
+        assert {150, 151} <= flagged

@@ -1,0 +1,87 @@
+"""Tests for repro.metric.strings: edit distances and soundex."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metric.strings import damerau_levenshtein, levenshtein, soundex, soundex_distance
+
+words = st.text(alphabet="ABCDE", max_size=12)
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("A", "", 1),
+            ("", "ABC", 3),
+            ("KITTEN", "SITTING", 3),
+            ("FLAW", "LAWN", 2),
+            ("SMITH", "SMYTH", 1),
+            ("ABC", "ABC", 0),
+            ("AB", "BA", 2),  # plain Levenshtein: no transposition
+        ],
+    )
+    def test_known_values(self, a, b, expected):
+        assert levenshtein(a, b) == expected
+
+    @given(a=words, b=words)
+    @settings(max_examples=80)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(a=words, b=words)
+    @settings(max_examples=80)
+    def test_identity_of_indiscernibles(self, a, b):
+        assert (levenshtein(a, b) == 0) == (a == b)
+
+    @given(a=words, b=words, c=words)
+    @settings(max_examples=80)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(a=words, b=words)
+    @settings(max_examples=80)
+    def test_bounded_by_longer_length(self, a, b):
+        assert levenshtein(a, b) <= max(len(a), len(b))
+        assert levenshtein(a, b) >= abs(len(a) - len(b))
+
+
+class TestDamerauLevenshtein:
+    def test_transposition_counts_one(self):
+        assert damerau_levenshtein("AB", "BA") == 1
+
+    def test_at_most_levenshtein(self):
+        for a, b in [("KITTEN", "SITTING"), ("ABCD", "ACBD"), ("XY", "YX")]:
+            assert damerau_levenshtein(a, b) <= levenshtein(a, b)
+
+    @given(a=words, b=words)
+    @settings(max_examples=60)
+    def test_symmetry(self, a, b):
+        assert damerau_levenshtein(a, b) == damerau_levenshtein(b, a)
+
+
+class TestSoundex:
+    @pytest.mark.parametrize(
+        "word,code",
+        [
+            ("ROBERT", "R163"),
+            ("RUPERT", "R163"),
+            ("ASHCRAFT", "A261"),
+            ("TYMCZAK", "T522"),
+            ("PFISTER", "P236"),
+            ("HONEYMAN", "H555"),
+        ],
+    )
+    def test_classic_examples(self, word, code):
+        assert soundex(word) == code
+
+    def test_empty(self):
+        assert soundex("") == "0000"
+
+    def test_distance_zero_for_homophones(self):
+        assert soundex_distance("ROBERT", "RUPERT") == 0
+
+    def test_distance_positive_for_unrelated(self):
+        assert soundex_distance("SMITH", "GARCIA") > 0

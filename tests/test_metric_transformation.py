@@ -1,0 +1,47 @@
+"""Tests for repro.metric.transformation: Def. 7's cost t."""
+
+import pytest
+
+from repro.core.mdl import universal_code_length
+from repro.metric.transformation import (
+    transformation_cost_for_strings,
+    transformation_cost_for_trees,
+    transformation_cost_for_vectors,
+)
+from repro.metric.trees import LabeledTree
+
+
+class TestVectors:
+    def test_equals_dimensionality(self):
+        assert transformation_cost_for_vectors(7) == 7.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            transformation_cost_for_vectors(0)
+
+
+class TestStrings:
+    def test_formula_components(self):
+        words = ["AB", "ABC"]
+        expected = (
+            universal_code_length(3)  # operation choice
+            + universal_code_length(3)  # distinct chars: A, B, C
+            + universal_code_length(3)  # longest word
+        )
+        assert transformation_cost_for_strings(words) == pytest.approx(expected)
+
+    def test_monotone_in_alphabet(self):
+        small = transformation_cost_for_strings(["AAAA"])
+        large = transformation_cost_for_strings(["ABCDEFGH"])
+        assert large > small
+
+    def test_empty_strings_safe(self):
+        assert transformation_cost_for_strings(["", ""]) >= universal_code_length(3)
+
+
+class TestTrees:
+    def test_monotone_in_labels_and_size(self):
+        small = transformation_cost_for_trees([LabeledTree("a")])
+        big_tree = LabeledTree.from_tuple(("a", ("b", ("c",)), ("d",), ("e",)))
+        large = transformation_cost_for_trees([big_tree])
+        assert large > small

@@ -1,0 +1,128 @@
+"""Tests for repro.metric.trees: LabeledTree and Zhang-Shasha TED."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metric.trees import LabeledTree, tree_edit_distance, tree_from_edges
+
+
+def leaf(label):
+    return LabeledTree(label)
+
+
+@st.composite
+def random_trees(draw, max_nodes=8):
+    labels = st.sampled_from("abcd")
+
+    def build(budget):
+        label = draw(labels)
+        if budget <= 1:
+            return LabeledTree(label), 1
+        n_children = draw(st.integers(0, min(3, budget - 1)))
+        children, used = [], 1
+        for _ in range(n_children):
+            child, k = build(budget - used)
+            children.append(child)
+            used += k
+            if used >= budget:
+                break
+        return LabeledTree(label, children), used
+
+    tree, _ = build(draw(st.integers(1, max_nodes)))
+    return tree
+
+
+class TestLabeledTree:
+    def test_size_and_depth(self):
+        t = LabeledTree.from_tuple(("a", ("b", ("c",)), ("d",)))
+        assert t.size() == 4
+        assert t.depth() == 3
+
+    def test_labels_postorder(self):
+        t = LabeledTree.from_tuple(("a", ("b",), ("c",)))
+        assert t.labels() == ["b", "c", "a"]
+
+    def test_equality_structural(self):
+        t1 = LabeledTree.from_tuple(("a", ("b",)))
+        t2 = LabeledTree.from_tuple(("a", ("b",)))
+        t3 = LabeledTree.from_tuple(("a", ("c",)))
+        assert t1 == t2
+        assert t1 != t3
+        assert hash(t1) == hash(t2)
+
+    def test_from_edges_roundtrip(self):
+        t = tree_from_edges(4, [(0, 1), (0, 2), (2, 3)], ["r", "a", "b", "c"])
+        assert t.size() == 4
+        assert t.label == "r"
+
+    def test_from_edges_rejects_cycle(self):
+        with pytest.raises(ValueError, match="needs"):
+            tree_from_edges(3, [(0, 1), (1, 2), (2, 0)], ["a", "b", "c"])
+
+    def test_from_edges_rejects_disconnected(self):
+        with pytest.raises(ValueError, match="disconnected"):
+            tree_from_edges(4, [(0, 1), (2, 3), (0, 1)], list("abcd"))
+
+
+class TestTreeEditDistance:
+    def test_identical_trees(self):
+        t = LabeledTree.from_tuple(("a", ("b",), ("c", ("d",))))
+        assert tree_edit_distance(t, t) == 0.0
+
+    def test_single_relabel(self):
+        t1 = LabeledTree.from_tuple(("a", ("b",)))
+        t2 = LabeledTree.from_tuple(("a", ("c",)))
+        assert tree_edit_distance(t1, t2) == 1.0
+
+    def test_single_insert(self):
+        t1 = LabeledTree.from_tuple(("a",))
+        t2 = LabeledTree.from_tuple(("a", ("b",)))
+        assert tree_edit_distance(t1, t2) == 1.0
+
+    def test_leaf_vs_chain(self):
+        t1 = leaf("a")
+        t2 = LabeledTree.from_tuple(("a", ("a", ("a",))))
+        assert tree_edit_distance(t1, t2) == 2.0
+
+    def test_classic_zhang_shasha_example(self):
+        # f(d(a c(b)) e)  ->  f(c(d(a b)) e) : distance 2.
+        t1 = LabeledTree.from_tuple(("f", ("d", ("a",), ("c", ("b",))), ("e",)))
+        t2 = LabeledTree.from_tuple(("f", ("c", ("d", ("a",), ("b",))), ("e",)))
+        assert tree_edit_distance(t1, t2) == 2.0
+
+    def test_custom_costs(self):
+        t1 = LabeledTree.from_tuple(("a",))
+        t2 = LabeledTree.from_tuple(("b",))
+        # Cheap relabel is used directly...
+        assert tree_edit_distance(t1, t2, relabel_cost=1.5) == 1.5
+        # ...but an expensive relabel is beaten by delete + insert.
+        assert tree_edit_distance(t1, t2, relabel_cost=5.0) == 2.0
+
+    def test_size_difference_lower_bound(self):
+        t1 = LabeledTree.from_tuple(("a", ("b",), ("c",)))
+        t2 = leaf("a")
+        assert tree_edit_distance(t1, t2) >= t1.size() - t2.size()
+
+    @given(t1=random_trees(), t2=random_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry(self, t1, t2):
+        assert tree_edit_distance(t1, t2) == tree_edit_distance(t2, t1)
+
+    @given(t=random_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_identity(self, t):
+        assert tree_edit_distance(t, t) == 0.0
+
+    @given(t1=random_trees(max_nodes=6), t2=random_trees(max_nodes=6), t3=random_trees(max_nodes=6))
+    @settings(max_examples=25, deadline=None)
+    def test_triangle_inequality(self, t1, t2, t3):
+        d13 = tree_edit_distance(t1, t3)
+        d12 = tree_edit_distance(t1, t2)
+        d23 = tree_edit_distance(t2, t3)
+        assert d13 <= d12 + d23
+
+    @given(t1=random_trees(max_nodes=6), t2=random_trees(max_nodes=6))
+    @settings(max_examples=40, deadline=None)
+    def test_bounded_by_total_size(self, t1, t2):
+        assert tree_edit_distance(t1, t2) <= t1.size() + t2.size()

@@ -1,0 +1,95 @@
+"""Tests for repro.metric.vector: L_p metrics, scalar and bulk forms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.metric.vector import chebyshev, cityblock, euclidean, minkowski, vector_metric
+
+finite_vec = arrays(
+    np.float64, 4, elements=st.floats(-100, 100, allow_nan=False, allow_infinity=False)
+)
+
+
+class TestScalarForm:
+    def test_euclidean_known_value(self):
+        assert euclidean([0, 0], [3, 4]) == pytest.approx(5.0)
+
+    def test_cityblock_known_value(self):
+        assert cityblock([0, 0], [3, 4]) == pytest.approx(7.0)
+
+    def test_chebyshev_known_value(self):
+        assert chebyshev([0, 0], [3, 4]) == pytest.approx(4.0)
+
+    def test_minkowski_p3_known_value(self):
+        assert minkowski(3)([0, 0], [1, 1]) == pytest.approx(2 ** (1 / 3))
+
+    def test_identity(self):
+        assert euclidean([1.5, -2.0], [1.5, -2.0]) == 0.0
+
+    def test_p_below_one_rejected(self):
+        with pytest.raises(ValueError, match="p >= 1"):
+            minkowski(0.5)
+
+    @given(a=finite_vec, b=finite_vec)
+    @settings(max_examples=50)
+    def test_symmetry(self, a, b):
+        assert euclidean(a, b) == pytest.approx(euclidean(b, a))
+
+    @given(a=finite_vec, b=finite_vec, c=finite_vec)
+    @settings(max_examples=50)
+    def test_triangle_inequality(self, a, b, c):
+        assert euclidean(a, c) <= euclidean(a, b) + euclidean(b, c) + 1e-9
+
+    @given(a=finite_vec, b=finite_vec)
+    @settings(max_examples=50)
+    def test_lp_ordering(self, a, b):
+        # L-inf <= L2 <= L1 always.
+        assert chebyshev(a, b) <= euclidean(a, b) + 1e-9
+        assert euclidean(a, b) <= cityblock(a, b) + 1e-9
+
+
+class TestBulkForm:
+    @pytest.mark.parametrize("metric", [euclidean, cityblock, chebyshev, minkowski(3)])
+    def test_bulk_matches_scalar(self, metric, rng):
+        Q = rng.normal(size=(5, 3))
+        X = rng.normal(size=(7, 3))
+        bulk = metric.bulk(Q, X)
+        assert bulk.shape == (5, 7)
+        for i in range(5):
+            for j in range(7):
+                assert bulk[i, j] == pytest.approx(metric(Q[i], X[j]), abs=1e-9)
+
+    def test_bulk_self_distances_zero_diagonal(self, rng):
+        X = rng.normal(size=(6, 2))
+        d = euclidean.bulk(X, X)
+        assert np.allclose(np.diag(d), 0.0, atol=1e-7)
+
+    def test_bulk_no_negative_from_roundoff(self):
+        X = np.full((2, 3), 1e8)
+        d = euclidean.bulk(X, X)
+        assert (d >= 0).all()
+
+
+class TestResolver:
+    @pytest.mark.parametrize(
+        "name,expected_p", [("euclidean", 2.0), ("manhattan", 1.0), ("linf", np.inf)]
+    )
+    def test_by_name(self, name, expected_p):
+        assert vector_metric(name).p == expected_p
+
+    def test_by_order(self):
+        assert vector_metric(4).p == 4.0
+
+    def test_passthrough(self):
+        assert vector_metric(euclidean) is euclidean
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown vector metric"):
+            vector_metric("cosine")
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            vector_metric(object())

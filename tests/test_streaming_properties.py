@@ -1,0 +1,84 @@
+"""Property-based streaming tests: any batch split must refit to the
+same result as one batch run, regardless of how the stream was chopped."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import McCatch, StreamingMcCatch
+
+
+def _dataset(seed: int, n: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    X = rng.normal(0, 1, (n, 2))
+    X[-2:] = [[7.5, 7.5], [7.6, 7.5]]
+    return X
+
+
+class TestSplitInvariance:
+    @given(
+        seed=st.integers(0, 50),
+        n=st.integers(80, 200),
+        n_cuts=st.integers(0, 5),
+        cut_seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_any_split_refits_to_batch_result(self, seed, n, n_cuts, cut_seed):
+        X = _dataset(seed, n)
+        rng = np.random.default_rng(cut_seed)
+        cuts = sorted(set(int(c) for c in rng.integers(1, n, size=n_cuts)))
+        boundaries = [0] + cuts + [n]
+
+        stream = StreamingMcCatch(McCatch(), min_fit_size=2)
+        for lo, hi in zip(boundaries, boundaries[1:]):
+            if hi > lo:
+                stream.update(X[lo:hi])
+        streamed = stream.refit()
+        batch = McCatch().fit(X)
+        assert np.array_equal(streamed.point_scores, batch.point_scores)
+        assert [tuple(sorted(map(int, m.indices))) for m in streamed.microclusters] == [
+            tuple(sorted(map(int, m.indices))) for m in batch.microclusters
+        ]
+
+    @given(seed=st.integers(0, 50), batch_size=st.integers(10, 120))
+    @settings(max_examples=10, deadline=None)
+    def test_uniform_batches(self, seed, batch_size):
+        X = _dataset(seed, 150)
+        stream = StreamingMcCatch(McCatch(), min_fit_size=2)
+        for start in range(0, 150, batch_size):
+            stream.update(X[start : start + batch_size])
+        streamed = stream.refit()
+        batch = McCatch().fit(X)
+        assert np.array_equal(streamed.point_scores, batch.point_scores)
+
+
+class TestProvisionalScoreProperties:
+    @given(
+        probe=st.tuples(st.floats(-30, 30), st.floats(-30, 30)),
+        seed=st.integers(0, 20),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_provisional_score_is_finite_and_positive(self, probe, seed):
+        X = _dataset(seed, 150)
+        stream = StreamingMcCatch(McCatch(), refit_factor=50.0, min_fit_size=150)
+        stream.update(X)
+        update = stream.update(np.array([list(probe)]))
+        assert update.provisional_scores.shape == (1,)
+        assert np.isfinite(update.provisional_scores[0])
+        assert update.provisional_scores[0] >= 0.0
+
+    @given(seed=st.integers(0, 20))
+    @settings(max_examples=10, deadline=None)
+    def test_duplicate_of_inlier_never_flagged(self, seed):
+        X = _dataset(seed, 150)
+        stream = StreamingMcCatch(McCatch(), refit_factor=50.0, min_fit_size=150)
+        stream.update(X)
+        result = stream.result
+        inlier_mask = np.ones(result.n, dtype=bool)
+        if result.outlier_indices.size:
+            inlier_mask[result.outlier_indices] = False
+        some_inlier = int(np.nonzero(inlier_mask)[0][0])
+        update = stream.update(X[some_inlier][None, :])
+        # Distance to the nearest inlier is 0 < d, so never provisional.
+        assert update.provisional_outliers.size == 0

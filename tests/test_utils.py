@@ -1,0 +1,87 @@
+"""Tests for repro.utils: validation helpers and RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    as_float_array,
+    check_dataset,
+    check_positive_int,
+    check_probability,
+    check_random_state,
+)
+
+
+class TestCheckRandomState:
+    def test_none_gives_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_int_seeds_deterministically(self):
+        a = check_random_state(7).integers(1000, size=5)
+        b = check_random_state(7).integers(1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert check_random_state(gen) is gen
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            check_random_state("seed")
+
+
+class TestAsFloatArray:
+    def test_1d_promoted_to_column(self):
+        arr = as_float_array([1, 2, 3])
+        assert arr.shape == (3, 1)
+        assert arr.dtype == np.float64
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            as_float_array([[1.0, np.nan]])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one row"):
+            as_float_array(np.empty((0, 2)))
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            as_float_array(np.zeros((2, 2, 2)))
+
+
+class TestCheckDataset:
+    def test_array(self):
+        assert check_dataset(np.zeros((5, 2))) == 5
+
+    def test_sequence(self):
+        assert check_dataset(["a", "b", "c"]) == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_dataset([])
+
+    def test_rejects_unsized(self):
+        with pytest.raises(TypeError):
+            check_dataset(iter([1, 2]))
+
+
+class TestScalarChecks:
+    def test_positive_int(self):
+        assert check_positive_int(3, name="a") == 3
+
+    def test_positive_int_rejects_bool_and_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, name="a")
+        with pytest.raises(TypeError):
+            check_positive_int(3.0, name="a")
+
+    def test_positive_int_minimum(self):
+        with pytest.raises(ValueError):
+            check_positive_int(1, name="a", minimum=2)
+
+    def test_probability_bounds(self):
+        assert check_probability(0.5, name="p") == 0.5
+        with pytest.raises(ValueError):
+            check_probability(1.5, name="p")
+        with pytest.raises(ValueError):
+            check_probability(0.0, name="p", allow_zero=False)

@@ -1,0 +1,135 @@
+"""SVG figures and HTML reports: structure, content, and edge cases."""
+
+import numpy as np
+import pytest
+
+from repro import McCatch
+from repro.viz import (
+    histogram_svg,
+    html_report,
+    oracle_plot_svg,
+    scaling_plot_svg,
+    scatter_svg,
+    write_report,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(0)
+    X = np.vstack([rng.normal(0, 1, (300, 2)), [[8.0, 8.0], [8.1, 8.0]], [[-9.0, 5.0]]])
+    return X, McCatch().fit(X)
+
+
+class TestScatter:
+    def test_valid_svg_with_all_points(self, fitted):
+        X, result = fitted
+        svg = scatter_svg(X, result, title="demo")
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        assert svg.count("<circle") == X.shape[0]
+        assert "demo" in svg
+
+    def test_outliers_get_palette_colors(self, fitted):
+        X, result = fitted
+        svg = scatter_svg(X, result)
+        assert "#d62728" in svg  # rank-0 red
+        assert "#bbbbbb" in svg  # inlier grey
+
+    def test_without_result_all_grey(self, fitted):
+        X, _ = fitted
+        svg = scatter_svg(X)
+        assert "#d62728" not in svg
+
+    def test_high_dim_projected(self, fitted):
+        _, result = fitted
+        rng = np.random.default_rng(1)
+        X5 = rng.normal(size=(result.n, 5))
+        assert scatter_svg(X5, result).count("<circle") == result.n
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-d vector"):
+            scatter_svg(np.zeros((10, 1)))
+
+
+class TestOraclePlot:
+    def test_contains_cutoff_lines(self, fitted):
+        _, result = fitted
+        svg = oracle_plot_svg(result)
+        assert svg.count("stroke-dasharray") >= 2  # vertical + horizontal d
+        assert "1NN Distance" in svg and "Group 1NN Distance" in svg
+
+    def test_every_point_drawn(self, fitted):
+        X, result = fitted
+        assert oracle_plot_svg(result).count("<circle") == X.shape[0]
+
+    def test_infinite_cutoff_skips_guides(self, fitted):
+        from dataclasses import replace
+
+        _, result = fitted
+        no_cut = replace(result.cutoff, value=float("inf"), index=-1)
+        patched = type(result)(
+            microclusters=result.microclusters,
+            point_scores=result.point_scores,
+            oracle=result.oracle,
+            cutoff=no_cut,
+            n=result.n,
+        )
+        svg = oracle_plot_svg(patched)
+        assert svg.startswith("<svg")
+
+
+class TestHistogram:
+    def test_bars_match_bins(self, fitted):
+        _, result = fitted
+        svg = histogram_svg(result)
+        # Background + one bar per bin.
+        assert svg.count("<rect") == len(result.cutoff.histogram) + 2
+
+    def test_cut_marker_present(self, fitted):
+        _, result = fitted
+        assert "cut" in histogram_svg(result)
+
+
+class TestScalingPlot:
+    def test_basic(self):
+        svg = scaling_plot_svg([100, 1000, 10000], [0.01, 0.1, 1.2], expected_slope=1.0)
+        assert "slope 1.00" in svg
+        assert svg.count("<circle") == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least two"):
+            scaling_plot_svg([100], [0.1])
+        with pytest.raises(ValueError, match="positive"):
+            scaling_plot_svg([100, 200], [0.0, 0.1])
+
+
+class TestHtmlReport:
+    def test_selfcontained_document(self, fitted):
+        X, result = fitted
+        doc = html_report(result, X, title="Network scan")
+        assert doc.startswith("<!DOCTYPE html>")
+        assert "Network scan" in doc
+        assert doc.count("<svg") == 3  # oracle + histogram + scatter
+        assert "bits/member" in doc
+
+    def test_object_data_skips_scatter(self, fitted):
+        _, result = fitted
+        doc = html_report(result, None)
+        assert doc.count("<svg") == 2
+
+    def test_explanations_included(self, fitted):
+        X, result = fitted
+        doc = html_report(result, X, explain_top=2)
+        assert doc.count("class='explain'") == 2
+
+    def test_escapes_title(self, fitted):
+        _, result = fitted
+        doc = html_report(result, title="<script>alert(1)</script>")
+        assert "<script>alert" not in doc
+
+    def test_write_report(self, fitted, tmp_path):
+        X, result = fitted
+        out = write_report(result, tmp_path / "report.html", X)
+        text = out.read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        assert "</html>" in text
