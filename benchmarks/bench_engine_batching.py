@@ -1,0 +1,142 @@
+"""Engine ablation: batched vs per-point execution of SELFJOINC.
+
+Measures the wall-clock of the Alg. 2 self-join counts — McCatch's
+dominant cost — under the two executors of
+:class:`repro.engine.BatchQueryEngine` on 2-d vector data with the
+default VP-tree and the paper-default ladder (a = 15,
+c = ceil(0.1 n)):
+
+- ``per_point``: the historical reference plan, one tree descent per
+  (active point, radius) pair;
+- ``batched``: one node-major multi-radius walk for all points.
+
+Results land in ``benchmarks/results/BENCH_engine.json`` (plus a text
+table) so the perf trajectory is recorded PR over PR.  The per-point
+executor is quadratically painful at the largest size, so there it is
+measured on a query sample and extrapolated — marked as such in the
+JSON.
+
+Run:  python benchmarks/bench_engine_batching.py
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+
+import numpy as np
+
+from _common import RESULTS_DIR, format_table, scaled, write_result
+from repro.core.radii import define_radii
+from repro.engine import BatchQueryEngine
+from repro.index import build_index
+from repro.metric.base import MetricSpace
+
+BOOST = scaled(1.0, lo=0.05, hi=20.0)
+
+SIZES = [int(2_000 * BOOST), int(10_000 * BOOST), int(50_000 * BOOST)]
+
+#: Above this size the per-point executor is sampled, not run in full.
+PER_POINT_EXACT_LIMIT = int(10_000 * BOOST)
+
+N_RADII = 15
+
+
+def _dataset(n: int) -> MetricSpace:
+    rng = np.random.default_rng(0)
+    return MetricSpace(rng.uniform(0.0, 1.0, (n, 2)))
+
+
+def _time_batched(engine: BatchQueryEngine, radii, c: int) -> tuple[float, np.ndarray]:
+    t0 = time.perf_counter()
+    counts = engine.self_join_counts(radii, max_cardinality=c)
+    return time.perf_counter() - t0, counts
+
+
+def _time_per_point(index, radii, c: int) -> tuple[float, bool]:
+    """Seconds for the per-point plan; extrapolated beyond the limit."""
+    n = len(index)
+    engine = BatchQueryEngine(index, mode="per_point")
+    if n <= PER_POINT_EXACT_LIMIT:
+        t0 = time.perf_counter()
+        engine.self_join_counts(radii, max_cardinality=c)
+        return time.perf_counter() - t0, False
+    # Sample: time the per-radius count_within loop on a query subset and
+    # scale by n / sample (the per-point plan is embarrassingly per-query,
+    # so this is a faithful estimate of the full run).
+    sample = min(2_000, n)
+    rng = np.random.default_rng(1)
+    queries = index.ids[rng.choice(n, size=sample, replace=False)]
+    t0 = time.perf_counter()
+    for radius in radii[:-1]:  # small-radii-only skips the top rung
+        index.count_within(queries, float(radius))
+    elapsed = time.perf_counter() - t0
+    # The sample ignores sparse-focused shrinkage, so correct by the
+    # fraction of (point, radius) pairs the real schedule would run.
+    full_counts = BatchQueryEngine(index).self_join_counts(radii, max_cardinality=c)
+    scheduled = float((full_counts[:, :-1] >= 0).sum()) / (n * (len(radii) - 1))
+    return elapsed * (n / sample) * scheduled, True
+
+
+def run() -> dict:
+    results = []
+    for n in SIZES:
+        space = _dataset(n)
+        index = build_index(space, kind="vptree")
+        radii = define_radii(index, N_RADII)
+        c = math.ceil(0.1 * n)
+        batched_s, counts_b = _time_batched(BatchQueryEngine(index), radii, c)
+        per_point_s, estimated = _time_per_point(index, radii, c)
+        if not estimated:
+            counts_p = BatchQueryEngine(index, mode="per_point").self_join_counts(
+                radii, max_cardinality=c
+            )
+            assert np.array_equal(counts_b, counts_p), "executors disagree"
+        results.append(
+            {
+                "n": n,
+                "per_point_s": round(per_point_s, 3),
+                "per_point_estimated": estimated,
+                "batched_s": round(batched_s, 3),
+                "speedup": round(per_point_s / batched_s, 1) if batched_s > 0 else None,
+            }
+        )
+    payload = {
+        "bench": "engine_batching",
+        "index": "vptree",
+        "n_radii": N_RADII,
+        "dataset": "uniform-2d",
+        "results": results,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_engine.json").write_text(json.dumps(payload, indent=2) + "\n")
+    rows = [
+        [
+            r["n"],
+            f"{r['per_point_s']:.2f}s" + ("*" if r["per_point_estimated"] else ""),
+            f"{r['batched_s']:.2f}s",
+            f"{r['speedup']:.1f}x",
+        ]
+        for r in results
+    ]
+    write_result(
+        "engine_batching",
+        format_table(
+            ["n", "per-point", "batched", "speedup"],
+            rows,
+            title="Engine ablation - SELFJOINC wall-clock (* = extrapolated)",
+        ),
+    )
+    return payload
+
+
+def bench_engine_batching(benchmark):
+    """pytest-benchmark entry point (single round; the timing is internal)."""
+    payload = benchmark.pedantic(run, rounds=1, iterations=1)
+    for r in payload["results"]:
+        assert r["speedup"] is None or r["speedup"] >= 3.0, r
+
+
+if __name__ == "__main__":
+    run()

@@ -20,12 +20,14 @@ Quickstart
 from repro.core.mccatch import McCatch, detect_microclusters
 from repro.core.result import CutoffInfo, McCatchResult, Microcluster, OraclePlot
 from repro.core.streaming import StreamingMcCatch, StreamingUpdate
+from repro.engine import BatchQueryEngine
 from repro.metric.base import MetricSpace
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "McCatch",
+    "BatchQueryEngine",
     "detect_microclusters",
     "McCatchResult",
     "Microcluster",

@@ -52,12 +52,19 @@ class BaseDetector(ABC):
 
 
 def knn_distances(X: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
-    """Distances and indices of each row's ``k`` nearest neighbors (self excluded)."""
-    from scipy.spatial import cKDTree
+    """Distances and indices of each row's ``k`` nearest neighbors (self excluded).
+
+    Runs through the batch query engine
+    (:func:`repro.engine.knn_distances`) over the ``"auto"`` index —
+    scipy's compiled kd-tree for Euclidean vector data, chunked bulk
+    distance blocks otherwise.
+    """
+    from repro.engine import knn_distances as engine_knn
+    from repro.index.factory import build_index
+    from repro.metric.base import MetricSpace
 
     n = X.shape[0]
     if k >= n:
         raise ValueError(f"k={k} must be < n={n}")
-    tree = cKDTree(X)
-    dists, idx = tree.query(X, k=k + 1)
-    return dists[:, 1:], idx[:, 1:]
+    index = build_index(MetricSpace(X), kind="auto")
+    return engine_knn(index, k)

@@ -6,14 +6,20 @@ evaluates per-point scores), we return the negated neighbor count at
 radius ``D``: the fewer neighbors, the more anomalous — the natural
 continuous relaxation of the binary definition.  Table II tunes
 ``D ∈ {l*0.05, l*0.1, l*0.25, l*0.5}`` with ``l`` the dataset diameter.
+
+The whole-dataset range sweep runs through the batch query engine
+(:meth:`repro.engine.BatchQueryEngine.count_all_within`) over the
+``"auto"`` index — one compiled kd-tree pass for Euclidean vectors.
 """
 
 from __future__ import annotations
 
 import numpy as np
-from scipy.spatial import cKDTree
 
 from repro.baselines.base import BaseDetector
+from repro.engine import BatchQueryEngine
+from repro.index.factory import build_index
+from repro.metric.base import MetricSpace
 
 
 class DBOut(BaseDetector):
@@ -29,6 +35,5 @@ class DBOut(BaseDetector):
     def _score(self, X: np.ndarray) -> np.ndarray:
         diameter = float(np.linalg.norm(X.max(axis=0) - X.min(axis=0)))
         radius = max(self.radius_fraction * diameter, np.finfo(np.float64).tiny)
-        tree = cKDTree(X)
-        counts = tree.query_ball_point(X, r=radius, return_length=True)
-        return -np.asarray(counts, dtype=np.float64)
+        engine = BatchQueryEngine(build_index(MetricSpace(X), kind="auto"))
+        return -engine.count_all_within(radius).astype(np.float64)

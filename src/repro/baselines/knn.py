@@ -5,6 +5,11 @@
 - **ODIN** (Hautamäki et al.): build the directed kNN graph; a point's
   outlyingness is its (low) in-degree — few other points consider it a
   neighbor.
+
+Both resolve their kNN workload through the batch query engine
+(:func:`repro.engine.knn_distances` via the shared
+:func:`~repro.baselines.base.knn_distances` helper), which serves
+Euclidean vectors from scipy's compiled kd-tree in one batched query.
 """
 
 from __future__ import annotations

@@ -4,6 +4,10 @@ Classic density-based score: the ratio of a point's neighbors' local
 reachability densities to its own.  Values near 1 are inliers; larger
 values are outliers, so LOF's native orientation already matches the
 library convention.
+
+The kNN workload (the only query-heavy part) runs through the batch
+query engine via :func:`~repro.baselines.base.knn_distances`; the
+density arithmetic on top is pure NumPy.
 """
 
 from __future__ import annotations

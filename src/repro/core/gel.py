@@ -12,8 +12,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.result import CutoffInfo, OraclePlot
+from repro.engine import BatchQueryEngine
 from repro.index.factory import build_index
-from repro.index.joins import self_join_pairs
 from repro.metric.base import MetricSpace
 
 
@@ -45,6 +45,7 @@ def spot_microclusters(
     outliers: np.ndarray,
     *,
     index_kind: str = "auto",
+    engine_mode: str = "batched",
 ) -> list[np.ndarray]:
     """Alg. 3 lines 7-19: split A into nonsingleton and singleton mcs.
 
@@ -57,6 +58,9 @@ def spot_microclusters(
     outliers:
         The set A as dataset positions (already computed by
         :func:`repro.core.cutoff.outlier_mask`).
+    engine_mode:
+        Execution plan for the pair join (see
+        :class:`repro.engine.BatchQueryEngine`).
 
     Returns
     -------
@@ -85,7 +89,7 @@ def spot_microclusters(
         e_next = min(max_end + 1, a - 1)
         threshold = float(radii[e_next])
         tree = build_index(space, grouped, kind=index_kind)
-        edges = self_join_pairs(tree, threshold)
+        edges = BatchQueryEngine(tree, mode=engine_mode).pairs(threshold)
         clusters.extend(connected_components(grouped, edges))
 
     for i in singles:

@@ -21,6 +21,7 @@ from repro.core.oracle import build_oracle_plot
 from repro.core.radii import define_radii
 from repro.core.result import McCatchResult
 from repro.core.scoring import score_microclusters
+from repro.engine import check_engine_mode
 from repro.index.factory import build_index
 from repro.metric.base import MetricSpace
 from repro.metric.transformation import (
@@ -50,6 +51,13 @@ class McCatch:
     index:
         Index kind for the joins: ``"auto"`` (default), or any of
         :func:`repro.index.available_index_kinds`.
+    engine_mode:
+        Execution plan for the neighborhood workloads:
+        ``"batched"`` (default; single-descent multi-radius queries via
+        :class:`repro.engine.BatchQueryEngine`) or ``"per_point"``
+        (the reference one-query-per-radius plan).  Results are
+        bit-for-bit identical; only wall-clock differs.  Kept for
+        differential testing and ablation.
     transformation_cost:
         The ``t`` of Def. 7.  ``None`` (default) derives it from the
         data: dimensionality for vectors, the word formula for strings,
@@ -79,6 +87,7 @@ class McCatch:
         *,
         max_cardinality: int | None = None,
         index: str = "auto",
+        engine_mode: str = "batched",
         transformation_cost: float | None = None,
         sparse_focused: bool = True,
     ):
@@ -93,6 +102,7 @@ class McCatch:
             max_cardinality = check_positive_int(max_cardinality, name="max_cardinality")
         self.max_cardinality = max_cardinality
         self.index = index
+        self.engine_mode = check_engine_mode(engine_mode)
         self.transformation_cost = transformation_cost
         self.sparse_focused = bool(sparse_focused)
 
@@ -132,6 +142,7 @@ class McCatch:
             max_slope=self.max_slope,
             max_cardinality=c,
             sparse_focused=self.sparse_focused,
+            engine_mode=self.engine_mode,
         )
 
         # Step III: spot microclusters (Alg. 3).
@@ -139,12 +150,14 @@ class McCatch:
         mask = outlier_mask(oracle, cutoff)
         outliers = np.nonzero(mask)[0]
         clusters = spot_microclusters(
-            space, oracle, cutoff, outliers, index_kind=self.index
+            space, oracle, cutoff, outliers,
+            index_kind=self.index, engine_mode=self.engine_mode,
         )
 
         # Step IV: anomaly scores (Alg. 4).
         microclusters, point_scores = score_microclusters(
-            space, clusters, oracle, transformation_cost=t, index_kind=self.index
+            space, clusters, oracle,
+            transformation_cost=t, index_kind=self.index, engine_mode=self.engine_mode,
         )
         return McCatchResult(
             microclusters=microclusters,

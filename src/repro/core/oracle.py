@@ -1,6 +1,6 @@
 """Algorithm 2: BUILDOPLOT — build the 'Oracle' plot.
 
-Counts neighbors per point per radius via the indexed self-join (with
+Counts neighbors per point per radius via the batch query engine (with
 the Sec. IV-G speed-up principles), then extracts each point's 1NN
 Distance (x axis) and Group 1NN Distance (y axis) from its plateaus.
 """
@@ -11,8 +11,8 @@ import numpy as np
 
 from repro.core.plateaus import analyze_counts
 from repro.core.result import OraclePlot
+from repro.engine import BatchQueryEngine
 from repro.index.base import MetricIndex
-from repro.index.joins import self_join_counts
 
 
 def build_oracle_plot(
@@ -22,6 +22,7 @@ def build_oracle_plot(
     max_slope: float,
     max_cardinality: int,
     sparse_focused: bool = True,
+    engine_mode: str = "batched",
 ) -> OraclePlot:
     """Alg. 2: count neighbors, find plateaus, mount the 'Oracle' plot.
 
@@ -37,9 +38,13 @@ def build_oracle_plot(
         Apply the sparse-focused principle (skip counts already known
         to exceed ``c``).  Disable only for ablation; results are
         identical where it matters.
+    engine_mode:
+        Execution plan (see :class:`BatchQueryEngine`): ``"batched"``
+        (default) or ``"per_point"`` — results are bit-for-bit
+        identical, only wall-clock differs.
     """
-    counts = self_join_counts(
-        index,
+    engine = BatchQueryEngine(index, mode=engine_mode)
+    counts = engine.self_join_counts(
         radii,
         max_cardinality=max_cardinality,
         sparse_focused=sparse_focused,

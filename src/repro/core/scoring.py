@@ -15,8 +15,8 @@ import numpy as np
 
 from repro.core.mdl import universal_code_length
 from repro.core.result import Microcluster, OraclePlot
+from repro.engine import BatchQueryEngine
 from repro.index.factory import build_index
-from repro.index.joins import join_counts
 from repro.metric.base import MetricSpace
 
 
@@ -26,6 +26,7 @@ def nearest_inlier_distances(
     oracle: OraclePlot,
     *,
     index_kind: str = "auto",
+    engine_mode: str = "batched",
 ) -> np.ndarray:
     """Per-point distance g_i to the nearest inlier (Alg. 4 lines 1-15).
 
@@ -33,6 +34,11 @@ def nearest_inlier_distances(
     inlier neighbors (0 if it has an inlier within the smallest radius;
     the top radius if it has none at all — e.g. when every point is an
     outlier).  For each inlier: its own 1NN Distance x_i.
+
+    The rung-by-rung ladder scan of Alg. 4 runs through the batch
+    engine: one multi-radius query per outlier in batched mode, the
+    literal shrinking-set loop in per-point mode — identical ``g``
+    either way.
     """
     n = len(space)
     radii = oracle.radii
@@ -48,17 +54,13 @@ def nearest_inlier_distances(
         return g
 
     inlier_tree = build_index(space, inlier_ids, kind=index_kind)
-    remaining = outliers.copy()
-    g[remaining] = radii[-1]  # default: no inlier neighbor within l
-    for e, radius in enumerate(radii):
-        if remaining.size == 0:
-            break
-        f = join_counts(inlier_tree, remaining, float(radius))
-        found = f > 0
-        if found.any():
-            # First radius with an inlier neighbor: g is one rung below.
-            g[remaining[found]] = radii[e - 1] if e > 0 else 0.0
-            remaining = remaining[~found]
+    engine = BatchQueryEngine(inlier_tree, mode=engine_mode)
+    first = engine.first_nonempty_radius(outliers, radii)
+    g[outliers] = radii[-1]  # default: no inlier neighbor within l
+    # First radius with an inlier neighbor: g is one rung below.
+    below = first > 0
+    g[outliers[below]] = radii[first[below] - 1]
+    g[outliers[first == 0]] = 0.0
     return g
 
 
@@ -110,6 +112,7 @@ def score_microclusters(
     *,
     transformation_cost: float,
     index_kind: str = "auto",
+    engine_mode: str = "batched",
 ) -> tuple[list[Microcluster], np.ndarray]:
     """Alg. 4: scores per microcluster (ranked) and per point.
 
@@ -130,7 +133,9 @@ def score_microclusters(
         if clusters
         else np.array([], dtype=np.intp)
     )
-    g = nearest_inlier_distances(space, outliers, oracle, index_kind=index_kind)
+    g = nearest_inlier_distances(
+        space, outliers, oracle, index_kind=index_kind, engine_mode=engine_mode
+    )
 
     microclusters: list[Microcluster] = []
     for members in clusters:

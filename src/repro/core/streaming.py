@@ -33,6 +33,7 @@ import numpy as np
 from repro.core.mccatch import McCatch
 from repro.core.result import McCatchResult
 from repro.core.scoring import point_score
+from repro.engine import nearest_distances_to
 from repro.metric.base import MetricSpace
 
 
@@ -227,7 +228,10 @@ class StreamingMcCatch:
         ``g`` = distance to the nearest element the model considers an
         inlier; score = ⟨1 + g/r₁⟩ (Alg. 4 line 22); flagged iff
         ``g ≥ d``.  Costs O(|inliers|) distances per element — the
-        price of freshness between refits.
+        price of freshness between refits — but the distances run as
+        blocked bulk kernels via the batch engine
+        (:func:`repro.engine.nearest_distances_to`), not a per-element
+        Python loop.
         """
         result = self._result
         model_n = result.n
@@ -243,11 +247,7 @@ class StreamingMcCatch:
             space = MetricSpace(self._fit_window, self.metric)
         r1 = float(result.oracle.radii[0])
         cutoff = result.cutoff.value
-        scores = np.empty(len(rows))
-        flagged = []
-        for i, row in enumerate(rows):
-            g = float(space.distances_to(row, inlier_ids).min())
-            scores[i] = point_score(g, r1)
-            if g >= cutoff:
-                flagged.append(i)
-        return scores, np.array(flagged, dtype=np.intp)
+        g = nearest_distances_to(space, rows, inlier_ids)
+        scores = np.array([point_score(float(gi), r1) for gi in g], dtype=np.float64)
+        flagged = np.nonzero(g >= cutoff)[0].astype(np.intp)
+        return scores, flagged

@@ -1,0 +1,31 @@
+"""Batch query engine: plans and runs neighborhood workloads.
+
+The engine sits between the index layer (:mod:`repro.index`) and the
+McCatch core (:mod:`repro.core`).  Indexes answer point queries;
+McCatch asks *workload*-shaped questions — "count every point's
+neighbors at every radius of the ladder", "find each outlier's first
+radius with an inlier", "materialize the outlier pairs".  The
+:class:`BatchQueryEngine` owns those workloads: it batches them into
+single-descent multi-radius queries (or chunked distance blocks on the
+brute-force path), applies the paper's Sec. IV-G scheduling principles,
+and keeps a ``mode="per_point"`` reference executor that reproduces the
+historical one-query-at-a-time plan bit for bit — the differential
+tests in ``tests/test_engine.py`` hold the two to exact equality.
+"""
+
+from repro.engine.executor import (
+    ENGINE_MODES,
+    UNKNOWN_COUNT,
+    BatchQueryEngine,
+    check_engine_mode,
+)
+from repro.engine.neighbors import knn_distances, nearest_distances_to
+
+__all__ = [
+    "BatchQueryEngine",
+    "ENGINE_MODES",
+    "UNKNOWN_COUNT",
+    "check_engine_mode",
+    "knn_distances",
+    "nearest_distances_to",
+]

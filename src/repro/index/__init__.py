@@ -1,7 +1,10 @@
 """Metric and spatial indexes plus the similarity joins built on them.
 
 The paper's *using-index principle* (Sec. IV-G): every join leverages a
-tree.  Available trees:
+tree.  Every index also answers the batched multi-radius query
+``count_within_many`` that :mod:`repro.engine` schedules McCatch's
+workloads onto — the metric trees with a single node-major walk, the
+rest with stacked per-radius passes.  Available trees:
 
 - :class:`~repro.index.vptree.VPTree` — default for nondimensional data;
 - :class:`~repro.index.mtree.MTree` / :class:`~repro.index.slimtree.SlimTree`
@@ -19,12 +22,12 @@ tree.  Available trees:
 """
 
 from repro.index.balltree import BallTree
-from repro.index.base import MetricIndex
+from repro.index.base import UNKNOWN_COUNT, MetricIndex
 from repro.index.bruteforce import BruteForceIndex
 from repro.index.ckdtree import CKDTreeIndex
 from repro.index.covertree import CoverTree
 from repro.index.factory import available_index_kinds, build_index
-from repro.index.joins import UNKNOWN_COUNT, join_counts, self_join_counts, self_join_pairs
+from repro.index.joins import join_counts, self_join_counts, self_join_pairs
 from repro.index.kdtree import KDTree
 from repro.index.laesa import LAESAIndex
 from repro.index.mtree import MTree

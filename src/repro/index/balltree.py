@@ -19,7 +19,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.index.base import MetricIndex
+from repro.index.base import MetricIndex, check_radii_ascending, frontier_count_walk
 from repro.metric.base import MetricSpace
 
 
@@ -107,6 +107,19 @@ class BallTree(MetricIndex):
             stack.append(node.left)
             stack.append(node.right)
         return total
+
+    def count_within_many(self, query_ids, radii) -> np.ndarray:
+        """All radii for all queries in one node-major walk
+        (:func:`~repro.index.base.frontier_count_walk`)."""
+        query_ids = np.asarray(query_ids, dtype=np.intp)
+        radii = check_radii_ascending(radii)
+        def descend(stack, node, pos, lo, hi, d, diff, radii_):
+            stack.append((node.left, pos, lo, hi))
+            stack.append((node.right, pos, lo, hi))
+
+        return frontier_count_walk(
+            self.space, query_ids, radii, self.root, lambda node: node.pivot, descend
+        )
 
     def diameter_estimate(self) -> float:
         """Root-ball two-scan estimate (Alg. 1 line 2 analogue)."""

@@ -1,10 +1,15 @@
 """The MetricIndex protocol shared by every tree in :mod:`repro.index`.
 
 An index covers a subset of a :class:`~repro.metric.base.MetricSpace`
-(identified by element ids) and answers three queries:
+(identified by element ids) and answers four queries:
 
 - ``count_within(query_ids, radius)`` — per-query neighbor counts, the
   *count-only principle* of Sec. IV-G (no pair materialization);
+- ``count_within_many(query_ids, radii)`` — the multi-radius form
+  McCatch's radius ladder actually needs: one ``(q, a)`` matrix of
+  counts.  The generic default stacks per-radius calls; the metric
+  trees override it with a single-descent walk that answers every
+  radius at once (see :mod:`repro.engine`);
 - ``pairs_within(radius)`` — the self-join of Alg. 3 line 12, needed
   only for the small outlier set;
 - ``diameter_estimate()`` — Alg. 1 line 2, the radius-ladder anchor.
@@ -22,6 +27,12 @@ from typing import Sequence
 import numpy as np
 
 from repro.metric.base import MetricSpace
+
+#: Sentinel for neighbor counts a scheduling principle never computed
+#: (see the sparse-focused principle in :mod:`repro.engine`).  Lives
+#: here — the one module both the engine and the join layer can import
+#: without a cycle.
+UNKNOWN_COUNT = -1
 
 
 class MetricIndex(ABC):
@@ -46,6 +57,28 @@ class MetricIndex(ABC):
         is itself indexed counts itself, matching the paper's
         "neighbors (+ self)" convention.
         """
+
+    def count_within_many(
+        self, query_ids: Sequence[int] | np.ndarray, radii: Sequence[float] | np.ndarray
+    ) -> np.ndarray:
+        """Counts for every query at every radius: a ``(q, a)`` int matrix.
+
+        ``radii`` must be sorted ascending (ties allowed).  Entry
+        ``[i, e]`` equals ``count_within([query_ids[i]], radii[e])[0]``
+        exactly — implementations answer all radii in one structure
+        walk, but never change a count.
+
+        The generic default issues one :meth:`count_within` pass per
+        radius; the metric trees override it with a single descent that
+        prunes with the largest still-active radius and bucket-counts
+        all radii at once.
+        """
+        query_ids = np.asarray(query_ids, dtype=np.intp)
+        radii = check_radii_ascending(radii)
+        out = np.empty((query_ids.size, radii.size), dtype=np.int64)
+        for e in range(radii.size):
+            out[:, e] = self.count_within(query_ids, float(radii[e]))
+        return out
 
     def pairs_within(self, radius: float) -> list[tuple[int, int]]:
         """All unordered indexed pairs ``(i, j)``, ``i < j``, within ``radius``.
@@ -79,6 +112,79 @@ class MetricIndex(ABC):
         far = int(ids[int(np.argmax(d0))])
         d1 = self.space.distances(far, ids)
         return float(d1.max())
+
+
+def check_radii_ascending(radii: Sequence[float] | np.ndarray) -> np.ndarray:
+    """Validate the multi-radius query vector: 1-d, nonempty, ascending."""
+    radii = np.asarray(radii, dtype=np.float64)
+    if radii.ndim != 1 or radii.size == 0:
+        raise ValueError("radii must be a nonempty 1-d array")
+    if np.any(np.diff(radii) < 0):
+        raise ValueError("radii must be sorted ascending")
+    return radii
+
+
+def frontier_count_walk(
+    space: MetricSpace,
+    query_ids: np.ndarray,
+    radii: np.ndarray,
+    root,
+    center_of,
+    descend,
+) -> np.ndarray:
+    """Node-major multi-radius range counting over a metric tree.
+
+    The shared engine room behind the single-walk ``count_within_many``
+    overrides of :class:`~repro.index.vptree.VPTree`,
+    :class:`~repro.index.balltree.BallTree` and
+    :class:`~repro.index.covertree.CoverTree`.  Nodes must expose a
+    covering ``radius``, a member ``size`` and an optional leaf
+    ``bucket``; ``center_of(node)`` returns the center element id, and
+    ``descend(stack, node, pos, lo, hi, d, diff, radii)`` handles an
+    internal node whose window survived — pushing children (with any
+    tree-specific window tightening) and crediting members not stored
+    in any child, such as the VP-tree's vantage point.
+
+    The tree is walked once with a *query frontier*: every stack entry
+    carries the queries that still reach that subtree plus, per query,
+    the window ``[lo, hi)`` of radius positions not yet decided there.
+    Each node computes one bulk distance block for its whole frontier
+    (queries stay the ``Q`` side of the metric, so floats are
+    bit-identical to the per-query walks'); radii whose ball swallows
+    the node are credited ``node.size`` in O(1) and leave the window,
+    radii whose ball cannot reach it leave it too, and leaf buckets
+    scatter range-adds into a per-query difference array that one
+    cumulative sum turns into counts.
+    """
+    nq, a = query_ids.size, radii.size
+    diff = np.zeros((nq, a + 1), dtype=np.int64)
+    stack = [(root, np.arange(nq), np.zeros(nq, dtype=np.intp), np.full(nq, a, dtype=np.intp))]
+    while stack:
+        node, pos, lo, hi = stack.pop()
+        d = space.distances_among(query_ids[pos], [center_of(node)])[:, 0]
+        full = np.searchsorted(radii, d + node.radius)
+        swallow = full < hi
+        if swallow.any():  # ball swallowed whole
+            rows = pos[swallow]
+            diff[rows, np.maximum(full[swallow], lo[swallow])] += node.size
+            diff[rows, hi[swallow]] -= node.size
+            hi = np.minimum(hi, full)
+        lo = np.maximum(lo, np.searchsorted(radii, d - node.radius))
+        live = lo < hi
+        if not live.any():
+            continue
+        if not live.all():
+            pos, lo, hi, d = pos[live], lo[live], hi[live], d[live]
+        if node.bucket is not None:
+            dm = space.distances_among(query_ids[pos], node.bucket)
+            e = np.searchsorted(radii, dm)  # (m, b) radius position per member
+            valid = e < hi[:, None]
+            rows = np.broadcast_to(pos[:, None], e.shape)[valid]
+            np.add.at(diff, (rows, np.maximum(e, lo[:, None])[valid]), 1)
+            np.add.at(diff, (rows, np.broadcast_to(hi[:, None], e.shape)[valid]), -1)
+            continue
+        descend(stack, node, pos, lo, hi, d, diff, radii)
+    return np.cumsum(diff[:, :a], axis=1)
 
 
 def chunked(array: np.ndarray, size: int):

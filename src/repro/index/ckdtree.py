@@ -35,6 +35,21 @@ class CKDTreeIndex(MetricIndex):
         )
         return np.asarray(counts, dtype=np.intp)
 
+    def knn_all(self, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Each indexed point's ``k`` nearest neighbors (self excluded).
+
+        Returns ``(distances, ids)``, both ``(n, k)``, rows in
+        ``self.ids`` order.  The optional fast-path hook
+        :func:`repro.engine.knn_distances` dispatches on.  Self
+        exclusion strips the first result column — with exact duplicate
+        points the kept zero-distance column may be either twin
+        (historical scipy-path semantics).
+        """
+        if not 1 <= k < len(self):
+            raise ValueError(f"k must be in [1, {len(self) - 1}], got {k}")
+        dists, pos = self._tree.query(self._points, k=k + 1)
+        return dists[:, 1:], self.ids[pos[:, 1:]]
+
     def pairs_within(self, radius: float) -> list[tuple[int, int]]:
         raw = self._tree.query_pairs(r=float(radius), output_type="ndarray")
         out: list[tuple[int, int]] = []

@@ -10,6 +10,11 @@ Three operations, matching the three joins McCatch issues:
 - :func:`self_join_pairs` — SELFJOIN of Alg. 3: the materialized pair
   join used to gel the (few) outliers into connected components.
 
+These are thin conveniences over :class:`repro.engine.BatchQueryEngine`,
+which owns the execution plan (batched multi-radius descents by
+default, the historical per-point schedule on request) and the
+sparse-focused / small-radii-only scheduling that used to live here.
+
 Counts that the sparse-focused principle never computes are reported as
 ``UNKNOWN_COUNT`` (-1); plateau analysis treats them as "beyond the
 Maximum Microcluster Cardinality", which is exactly what they are.
@@ -21,9 +26,9 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.index.base import MetricIndex
+from repro.index.base import UNKNOWN_COUNT, MetricIndex
 
-UNKNOWN_COUNT = -1
+__all__ = ["UNKNOWN_COUNT", "self_join_counts", "join_counts", "self_join_pairs"]
 
 
 def self_join_counts(
@@ -33,6 +38,7 @@ def self_join_counts(
     max_cardinality: int | None = None,
     sparse_focused: bool = True,
     small_radii_only: bool = True,
+    mode: str = "batched",
 ) -> np.ndarray:
     """Neighbor counts (+ self) for every indexed point at every radius.
 
@@ -45,11 +51,15 @@ def self_join_counts(
     max_cardinality:
         The Maximum Microcluster Cardinality ``c``.  With
         ``sparse_focused=True``, a point whose count at radius ``r_{e-1}``
-        already exceeds ``c`` is not queried at later radii — its further
+        already exceeds ``c`` is not reported at later radii — its further
         counts can only describe clusters too big to be microclusters.
     small_radii_only:
         Skip the join at ``r_a`` entirely: ``r_a`` equals the estimated
         diameter, so every point is (approximately) everyone's neighbor.
+    mode:
+        Execution plan: ``"batched"`` (default, one multi-radius descent
+        per point) or ``"per_point"`` (the reference per-radius loop).
+        Results are bit-for-bit identical.
 
     Returns
     -------
@@ -59,28 +69,14 @@ def self_join_counts(
         ``UNKNOWN_COUNT`` where the sparse-focused principle skipped the
         computation.
     """
-    radii = np.asarray(radii, dtype=np.float64)
-    if radii.size < 2:
-        raise ValueError("need at least two radii")
-    if np.any(np.diff(radii) <= 0):
-        raise ValueError("radii must be strictly increasing")
-    n = len(index)
-    a = radii.size
-    counts = np.full((n, a), UNKNOWN_COUNT, dtype=np.int64)
-    positions = np.arange(n)
-    active = positions  # positions (not ids) still being tracked
-    for e in range(a):
-        if small_radii_only and e == a - 1:
-            # Small-radii-only principle: at r_a = l everything is a
-            # neighbor of everything, no join needed.
-            counts[active, e] = n
-            break
-        if active.size == 0:
-            break
-        counts[active, e] = index.count_within(index.ids[active], radii[e])
-        if sparse_focused and max_cardinality is not None:
-            active = active[counts[active, e] <= max_cardinality]
-    return counts
+    from repro.engine.executor import BatchQueryEngine  # lazy: avoids an import cycle
+
+    return BatchQueryEngine(index, mode=mode).self_join_counts(
+        radii,
+        max_cardinality=max_cardinality,
+        sparse_focused=sparse_focused,
+        small_radii_only=small_radii_only,
+    )
 
 
 def join_counts(
@@ -91,7 +87,9 @@ def join_counts(
     This is the outliers-vs-inliers join of Alg. 4 line 5 (count-only:
     no pairs are materialized).
     """
-    return inlier_index.count_within(np.asarray(query_ids, dtype=np.intp), radius)
+    from repro.engine.executor import BatchQueryEngine  # lazy: avoids an import cycle
+
+    return BatchQueryEngine(inlier_index).join_counts(query_ids, radius)
 
 
 def self_join_pairs(index: MetricIndex, radius: float) -> list[tuple[int, int]]:
@@ -100,4 +98,6 @@ def self_join_pairs(index: MetricIndex, radius: float) -> list[tuple[int, int]]:
     Only called on the small outlier set (Alg. 3 line 12), where
     materializing pairs is cheap.
     """
-    return index.pairs_within(float(radius))
+    from repro.engine.executor import BatchQueryEngine  # lazy: avoids an import cycle
+
+    return BatchQueryEngine(index).pairs(radius)

@@ -11,11 +11,12 @@ count-only principle again.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Sequence
 
 import numpy as np
 
-from repro.index.base import MetricIndex
+from repro.index.base import MetricIndex, check_radii_ascending
 from repro.metric.base import MetricSpace
 
 
@@ -234,6 +235,59 @@ class MTree(MetricIndex):
                 elif d - e.radius <= r:
                     stack.append((e.subtree, d))
         return total
+
+    def count_within_many(self, query_ids, radii) -> np.ndarray:
+        """All radii in one descent per query (see :class:`MetricIndex`).
+
+        The parent-distance filter and the pivot distance are evaluated
+        once per routing entry and shared across the whole radius
+        ladder; each stack entry carries the window ``[lo, hi)`` of
+        radius positions still undecided for its subtree.  Inherited by
+        :class:`~repro.index.slimtree.SlimTree`.
+        """
+        query_ids = np.asarray(query_ids, dtype=np.intp)
+        radii = check_radii_ascending(radii)
+        ladder = radii.tolist()
+        out = np.empty((query_ids.size, radii.size), dtype=np.int64)
+        for row, q in enumerate(query_ids):
+            out[row] = np.cumsum(self._count_one_many(int(q), ladder))
+        return out
+
+    def _count_one_many(self, q: int, ladder: list[float]) -> list[int]:
+        """Difference array of counts over the radius ladder for one query."""
+        a = len(ladder)
+        diff = [0] * (a + 1)
+        # Stack holds (node, distance from q to the node's parent pivot
+        # or None, undecided radii window [lo, hi)).
+        stack: list[tuple[_Node, float | None, int, int]] = [(self.root, None, 0, a)]
+        while stack:
+            node, d_qp, lo, hi = stack.pop()
+            for e in node.entries:
+                elo, ehi = lo, hi
+                if d_qp is not None:
+                    bound = bisect_left(ladder, abs(d_qp - e.d_parent) - e.radius)
+                    if bound > elo:
+                        elo = bound
+                    if elo >= ehi:
+                        continue  # pruned for every radius, no distance computed
+                d = self._d(q, e.pivot_id)
+                if e.subtree is None:
+                    sv = bisect_left(ladder, d)
+                    if sv < ehi:
+                        diff[sv if sv > elo else elo] += 1
+                        diff[ehi] -= 1
+                    continue
+                full = bisect_left(ladder, d + e.radius)
+                if full < ehi:
+                    diff[full if full > elo else elo] += e.size  # ball inside the query
+                    diff[ehi] -= e.size
+                    ehi = full
+                low = bisect_left(ladder, d - e.radius)
+                if low > elo:
+                    elo = low
+                if elo < ehi:
+                    stack.append((e.subtree, d, elo, ehi))
+        return diff[:a]
 
     def diameter_estimate(self) -> float:
         """Alg. 1 line 2: max distance between direct successors of the root.

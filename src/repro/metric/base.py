@@ -109,6 +109,28 @@ class MetricSpace:
             return self._vm.bulk(q[None, :], self.data[idx])[0]
         return np.array([self.metric(obj, self.data[j]) for j in idx], dtype=np.float64)
 
+    def distances_to_many(
+        self, objs, indices: Sequence[int] | np.ndarray
+    ) -> np.ndarray:
+        """Distance matrix from out-of-dataset objects to elements.
+
+        The batched form of :meth:`distances_to`: one ``(q, m)`` block
+        for ``q`` query objects against ``m`` indexed elements.  Vector
+        data answers with a single bulk broadcast; object data loops,
+        which is the honest cost of a user-supplied metric.
+        """
+        idx = np.asarray(indices, dtype=np.intp)
+        if self.is_vector:
+            Q = np.asarray(objs, dtype=np.float64)
+            if Q.ndim == 1:
+                Q = Q.reshape(1, -1)
+            return self._vm.bulk(Q, self.data[idx])
+        out = np.empty((len(objs), idx.size), dtype=np.float64)
+        for row, obj in enumerate(objs):
+            for col, j in enumerate(idx):
+                out[row, col] = self.metric(obj, self.data[j])
+        return out
+
     def distances_among(
         self, left: Sequence[int] | np.ndarray, right: Sequence[int] | np.ndarray
     ) -> np.ndarray:

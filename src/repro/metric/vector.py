@@ -53,9 +53,18 @@ class VectorMetric:
             return np.abs(Q[:, None, :] - X[None, :, :]).max(axis=2)
         if self.p == 2.0:
             # ||q - x||^2 = ||q||^2 + ||x||^2 - 2 q.x, clipped for round-off.
+            # The cross term deliberately uses einsum rather than a BLAS
+            # matmul: gemm accumulation order depends on the operand
+            # shapes, so the same pair of rows could get last-ulp
+            # different distances in a (1, n) call and a (512, n) call —
+            # and the indexes compare those floats against shared radius
+            # boundaries, where a one-ulp flip changes a count.  einsum
+            # is bitwise identical for every block shape (and makes
+            # self-distances exactly zero: q.q accumulates in the same
+            # order as ||q||^2).
             qq = np.einsum("ij,ij->i", Q, Q)[:, None]
             xx = np.einsum("ij,ij->i", X, X)[None, :]
-            sq = qq + xx - 2.0 * (Q @ X.T)
+            sq = qq + xx - 2.0 * np.einsum("ik,jk->ij", Q, X)
             np.maximum(sq, 0.0, out=sq)
             return np.sqrt(sq)
         diff = np.abs(Q[:, None, :] - X[None, :, :])

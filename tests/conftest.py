@@ -2,10 +2,27 @@
 
 from __future__ import annotations
 
+import os
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
 
-from repro.metric.base import MetricSpace
+# The example smoke tests run scripts in subprocesses with cwd=tmp_path.
+# A relative PYTHONPATH entry like "src" (the common way to run this
+# suite from the repo root) silently stops resolving there, so make the
+# src/ layout importable by absolute path for every child process — and
+# for this process too, in case the package is neither installed nor on
+# the inherited path.
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+_parts = [p for p in os.environ.get("PYTHONPATH", "").split(os.pathsep) if p]
+if _SRC not in _parts:
+    os.environ["PYTHONPATH"] = os.pathsep.join([_SRC] + _parts)
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.metric.base import MetricSpace  # noqa: E402
 
 
 @pytest.fixture(scope="session")

@@ -1,6 +1,5 @@
 """Tests for the Table I feature matrix metadata."""
 
-import pytest
 
 from repro.baselines import all_detectors
 from repro.baselines.features import PROPERTY_LABELS, TABLE1, format_feature_matrix

@@ -7,7 +7,7 @@ import pytest
 
 from repro.core.oracle import build_oracle_plot
 from repro.core.radii import define_radii
-from repro.index import BruteForceIndex, VPTree, build_index
+from repro.index import BruteForceIndex, VPTree
 from repro.metric.base import MetricSpace
 from repro.metric.instrumentation import CountingMetricSpace
 from repro.metric.strings import levenshtein

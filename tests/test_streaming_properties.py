@@ -2,7 +2,6 @@
 same result as one batch run, regardless of how the stream was chopped."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
