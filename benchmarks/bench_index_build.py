@@ -1,0 +1,131 @@
+"""Index construction bench: object-node builds vs flat level-synchronous.
+
+The flat refactor moved tree construction from per-node recursion over
+Python ``__slots__`` objects to level-synchronous vectorized builds
+into :class:`~repro.index.base.FlatTree` arrays.  This bench records
+what that buys — build wall-clock and node counts for the VP- and ball
+trees against the preserved pre-refactor implementations
+(:mod:`repro.index.reference`), plus the build+freeze cost of the
+insertion-built trees — so the perf trajectory captures construction,
+not just queries.
+
+Results land in ``benchmarks/results/BENCH_index_build.json`` (plus a
+text table).
+
+Run:  python benchmarks/bench_index_build.py [--n N ...] [--repeats K]
+(the CI smoke step runs one tiny configuration; REPRO_BENCH_SCALE
+multiplies the default sizes as usual).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from _common import RESULTS_DIR, format_table, scaled, write_result
+from repro.index import BallTree, CoverTree, MTree, SlimTree, VPTree
+from repro.index.reference import ReferenceBallTree, ReferenceVPTree
+from repro.metric.base import MetricSpace
+
+BOOST = scaled(1.0, lo=0.02, hi=20.0)
+
+DEFAULT_SIZES = [int(2_000 * BOOST), int(10_000 * BOOST)]
+
+#: (name, flat builder, object builder or None when the object build IS
+#: the construction and only the freeze is new).
+PAIRS = [
+    ("vptree", VPTree, ReferenceVPTree),
+    ("balltree", BallTree, ReferenceBallTree),
+    ("covertree", CoverTree, None),
+    ("mtree", MTree, None),
+    ("slimtree", SlimTree, None),
+]
+
+
+def _dataset(n: int) -> MetricSpace:
+    rng = np.random.default_rng(0)
+    return MetricSpace(rng.normal(size=(n, 2)))
+
+
+def _best(f, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        f()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def _object_node_count(tree) -> int:
+    """Nodes of a pre-refactor object tree (children/left-right/bucket)."""
+    count = 0
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        count += 1
+        for child in (getattr(node, "inside", None), getattr(node, "outside", None),
+                      getattr(node, "left", None), getattr(node, "right", None)):
+            if child is not None:
+                stack.append(child)
+    return count
+
+
+def run(sizes: list[int], repeats: int) -> dict:
+    records = []
+    for n in sizes:
+        space = _dataset(n)
+        for name, flat_cls, ref_cls in PAIRS:
+            flat_s = _best(lambda: flat_cls(space), repeats)
+            index = flat_cls(space)
+            rec = {
+                "index": name,
+                "n": n,
+                "flat_build_s": flat_s,
+                "flat_nodes": index.flat.n_nodes,
+            }
+            if ref_cls is not None:
+                object_s = _best(lambda: ref_cls(space), repeats)
+                rec["object_build_s"] = object_s
+                rec["object_nodes"] = _object_node_count(ref_cls(space))
+                rec["speedup"] = object_s / flat_s if flat_s > 0 else float("inf")
+            records.append(rec)
+    return {"bench": "index_build", "repeats": repeats, "records": records}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, nargs="*", default=None,
+                        help=f"dataset sizes (default {DEFAULT_SIZES})")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats, best-of (default 3)")
+    args = parser.parse_args()
+    sizes = args.n if args.n else DEFAULT_SIZES
+
+    payload = run(sizes, args.repeats)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_index_build.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    rows = []
+    for r in payload["records"]:
+        rows.append([
+            r["index"], r["n"], f"{r['flat_build_s'] * 1000:.1f}",
+            f"{r['object_build_s'] * 1000:.1f}" if "object_build_s" in r else "-",
+            f"{r['speedup']:.2f}x" if "speedup" in r else "-",
+            r["flat_nodes"],
+        ])
+    write_result(
+        "index_build",
+        format_table(
+            ["index", "n", "flat ms", "object ms", "speedup", "nodes"],
+            rows,
+            title="Index construction: flat level-synchronous vs object-node builds",
+        ),
+    )
+
+
+if __name__ == "__main__":
+    main()

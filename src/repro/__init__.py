@@ -17,16 +17,18 @@ Quickstart
 ...     print(mc)            # ranked most-strange-first
 """
 
-from repro.core.mccatch import McCatch, detect_microclusters
+from repro.core.mccatch import BatchScores, McCatch, McCatchModel, detect_microclusters
 from repro.core.result import CutoffInfo, McCatchResult, Microcluster, OraclePlot
 from repro.core.streaming import StreamingMcCatch, StreamingUpdate
 from repro.engine import BatchQueryEngine
 from repro.metric.base import MetricSpace
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "McCatch",
+    "McCatchModel",
+    "BatchScores",
     "BatchQueryEngine",
     "detect_microclusters",
     "McCatchResult",

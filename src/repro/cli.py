@@ -11,6 +11,13 @@ Commands
 ``stream``
     Replay a CSV through StreamingMcCatch in batches and print a
     per-batch alert log.
+``fit``
+    Fit McCatch on a CSV of vectors and persist the whole model —
+    flat index arrays, data, result — to one ``.npz`` (fit once,
+    serve many).
+``score``
+    Load a saved model and score a held-out CSV batch against it
+    without refitting.
 ``datasets``
     List the built-in dataset generators and their Table III metadata.
 ``demo``
@@ -76,6 +83,27 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="refit when the window grew by this factor")
     stream.add_argument("--max-window", type=int, default=None,
                         help="sliding-window size (default: keep everything)")
+
+    fit = sub.add_parser("fit", help="fit McCatch and persist the model to .npz")
+    fit.add_argument("path", help="CSV/TSV of numbers (model persistence is vector-only)")
+    fit.add_argument("-o", "--output", default="mccatch_model.npz",
+                     help="model output path (default mccatch_model.npz)")
+    fit.add_argument("--metric", default="euclidean",
+                     choices=["euclidean", "manhattan", "chebyshev"])
+    fit.add_argument("--delimiter", default=",", help="CSV delimiter (default ',')")
+    fit.add_argument("--n-radii", type=int, default=15, help="hyperparameter a")
+    fit.add_argument("--max-slope", type=float, default=0.1, help="hyperparameter b")
+    fit.add_argument("--max-cardinality-fraction", type=float, default=0.1,
+                     help="hyperparameter c as a fraction of n")
+    fit.add_argument("--index", default="vptree",
+                     help="metric tree backing the model (default vptree; must "
+                          "be flat-backed: vptree, balltree, covertree, mtree, slimtree)")
+
+    score = sub.add_parser("score", help="score a held-out CSV against a saved model")
+    score.add_argument("model", help="model .npz written by `repro fit`")
+    score.add_argument("path", help="CSV/TSV of rows to score")
+    score.add_argument("--delimiter", default=",", help="CSV delimiter (default ',')")
+    score.add_argument("--top", type=int, default=20, help="rows of ranking to print")
 
     sub.add_parser("datasets", help="list the built-in dataset generators")
 
@@ -184,6 +212,51 @@ def _cmd_stream(args) -> int:
     return 0
 
 
+def _cmd_fit(args) -> int:
+    data, metric = _load_input(args.path, args.metric, args.delimiter)
+    detector = McCatch(
+        n_radii=args.n_radii,
+        max_slope=args.max_slope,
+        max_cardinality_fraction=args.max_cardinality_fraction,
+        index=args.index,
+    )
+    t0 = time.perf_counter()
+    model = detector.fit_model(
+        np.asarray(data), metric if metric != "euclidean" else None
+    )
+    elapsed = time.perf_counter() - t0
+    try:
+        out = model.save(args.output)
+    except TypeError as exc:  # e.g. a non-flat index kind
+        raise SystemExit(f"error: {exc}") from exc
+    result = model.result
+    print(f"n={result.n}  microclusters={len(result.microclusters)}  "
+          f"outlying points={result.n_outliers}  ({elapsed:.2f}s)")
+    print(f"model saved to {out}")
+    return 0
+
+
+def _cmd_score(args) -> int:
+    from repro import McCatchModel
+
+    model = McCatchModel.load(args.model)
+    data, _ = _load_input(args.path, "euclidean", args.delimiter)
+    X = np.asarray(data)
+    t0 = time.perf_counter()
+    batch = model.score_batch(X)
+    elapsed = time.perf_counter() - t0
+    flagged = set(batch.flagged.tolist())
+    print(f"model n={model.n}  scored rows={X.shape[0]}  "
+          f"flagged={len(flagged)}  ({elapsed:.2f}s)")
+    print()
+    print(f"{'row':>6}  {'score':>9}  flagged")
+    order = np.argsort(-batch.scores, kind="stable")[: args.top]
+    for r in order:
+        mark = "yes" if int(r) in flagged else ""
+        print(f"{int(r):>6}  {batch.scores[r]:>9.2f}  {mark}")
+    return 0
+
+
 def _cmd_datasets(_args) -> int:
     print(f"{'name':<22}{'kind':<10}{'paper n':>10}  notes")
     for name in dataset_names():
@@ -218,6 +291,8 @@ def main(argv: list[str] | None = None) -> int:
         "detect": _cmd_detect,
         "report": _cmd_report,
         "stream": _cmd_stream,
+        "fit": _cmd_fit,
+        "score": _cmd_score,
         "datasets": _cmd_datasets,
         "demo": _cmd_demo,
     }

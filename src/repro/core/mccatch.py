@@ -11,6 +11,8 @@ for every experiment there — McCatch is 'hands-off' (goal G5).
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable
 
 import numpy as np
@@ -20,8 +22,9 @@ from repro.core.gel import spot_microclusters
 from repro.core.oracle import build_oracle_plot
 from repro.core.radii import define_radii
 from repro.core.result import McCatchResult
-from repro.core.scoring import score_microclusters
-from repro.engine import check_engine_mode
+from repro.core.scoring import point_score, score_microclusters
+from repro.engine import check_engine_mode, nearest_distances_to
+from repro.index.base import MetricIndex
 from repro.index.factory import build_index
 from repro.metric.base import MetricSpace
 from repro.metric.transformation import (
@@ -121,6 +124,24 @@ class McCatch:
             an optional L_p metric override (default Euclidean).
         """
         space = data if isinstance(data, MetricSpace) else MetricSpace(data, metric)
+        return self._fit_space(space)[0]
+
+    def fit_model(self, data, metric: Callable | None = None) -> "McCatchModel":
+        """Run McCatch and return a reusable fitted model.
+
+        Same computation as :meth:`fit`, but the returned
+        :class:`McCatchModel` keeps the fitted space, the built index
+        and the result together, so it can score held-out batches
+        (:meth:`McCatchModel.score_batch`) and be persisted with
+        :meth:`McCatchModel.save` / :meth:`McCatchModel.load` — fit
+        once, serve many.
+        """
+        space = data if isinstance(data, MetricSpace) else MetricSpace(data, metric)
+        result, tree = self._fit_space(space)
+        return McCatchModel(space, tree, result)
+
+    def _fit_space(self, space: MetricSpace) -> tuple[McCatchResult, MetricIndex]:
+        """Alg. 1 over a prepared space; returns the result and the tree."""
         n = len(space)
         c = self._resolve_c(n)
         t = self._resolve_transformation_cost(space)
@@ -132,7 +153,7 @@ class McCatch:
             # ladder exists and nothing can be anomalous.  Return the
             # empty verdict instead of failing deep in the substrate —
             # streaming windows and trivial inputs hit this legitimately.
-            return _degenerate_result(n, self.n_radii)
+            return _degenerate_result(n, self.n_radii), tree
         radii = define_radii(tree, self.n_radii)
 
         # Step II: 'Oracle' plot (Alg. 2).
@@ -159,13 +180,14 @@ class McCatch:
             space, clusters, oracle,
             transformation_cost=t, index_kind=self.index, engine_mode=self.engine_mode,
         )
-        return McCatchResult(
+        result = McCatchResult(
             microclusters=microclusters,
             point_scores=point_scores,
             oracle=oracle,
             cutoff=cutoff,
             n=n,
         )
+        return result, tree
 
     def fit_scores(self, data, metric: Callable | None = None) -> np.ndarray:
         """Per-point anomaly scores W only (baseline-compatible view)."""
@@ -217,6 +239,112 @@ def _degenerate_result(n: int, n_radii: int) -> McCatchResult:
     return McCatchResult(
         microclusters=[], point_scores=zeros.copy(), oracle=oracle, cutoff=cutoff, n=n
     )
+
+
+@dataclass(frozen=True)
+class BatchScores:
+    """What :meth:`McCatchModel.score_batch` produced for one batch.
+
+    Attributes
+    ----------
+    scores:
+        Per-element scores ``w = ⟨1 + g/r₁⟩`` (Alg. 4 line 22), where
+        ``g`` is the distance to the model's nearest inlier.
+    flagged:
+        Batch positions with ``g ≥ d`` — the Cutoff's own semantics
+        ("the minimum distance required between one microcluster and
+        its nearest inlier").
+    """
+
+    scores: np.ndarray
+    flagged: np.ndarray
+
+
+class McCatchModel:
+    """A fitted McCatch: space + index + result, ready to serve.
+
+    Returned by :meth:`McCatch.fit_model`.  Keeps the three fitted
+    artifacts together so held-out batches can be scored against the
+    model (:meth:`score_batch`, the same provisional scorer streaming
+    uses between refits), and — because the index is flat array-backed
+    — the whole model persists to a single ``.npz``
+    (:meth:`save` / :meth:`load`; vector spaces only, since a custom
+    object metric cannot be serialized).
+
+    Parameters
+    ----------
+    space:
+        The fitted :class:`~repro.metric.base.MetricSpace`.
+    index:
+        The tree built over it (``None`` for a scoring-only model,
+        e.g. the streaming scorer's).
+    result:
+        The :class:`~repro.core.result.McCatchResult` of the fit.
+    """
+
+    def __init__(self, space: MetricSpace, index: MetricIndex | None, result: McCatchResult):
+        self.space = space
+        self.index = index
+        self.result = result
+        inlier_mask = np.ones(result.n, dtype=bool)
+        if result.outlier_indices.size:
+            inlier_mask[result.outlier_indices] = False
+        inlier_ids = np.nonzero(inlier_mask)[0]
+        if inlier_ids.size == 0:  # degenerate: everything was an outlier
+            inlier_ids = np.arange(result.n)
+        self._inlier_ids = inlier_ids
+
+    @property
+    def n(self) -> int:
+        """Number of fitted elements."""
+        return self.result.n
+
+    def score_batch(self, batch) -> BatchScores:
+        """Score held-out elements against the fitted model.
+
+        ``g`` = distance to the nearest element the model considers an
+        inlier; score = ⟨1 + g/r₁⟩ (Alg. 4 line 22); flagged iff
+        ``g ≥ d``.  Costs O(|inliers|) distances per element, run as
+        blocked bulk kernels via the batch engine
+        (:func:`repro.engine.nearest_distances_to`).  Deterministic:
+        the same batch scores identically before and after a
+        save/load round trip.
+        """
+        if self.space.is_vector:
+            rows = np.asarray(batch, dtype=np.float64)
+            if rows.ndim == 1:
+                rows = rows.reshape(1, -1)
+        else:
+            rows = list(batch)
+        if len(rows) == 0:
+            return BatchScores(np.zeros(0), np.zeros(0, dtype=np.intp))
+        r1 = float(self.result.oracle.radii[0])
+        if r1 <= 0.0:  # degenerate fit: no radius ladder, nothing anomalous
+            return BatchScores(np.zeros(len(rows)), np.zeros(0, dtype=np.intp))
+        g = nearest_distances_to(self.space, rows, self._inlier_ids)
+        scores = np.array([point_score(float(gi), r1) for gi in g], dtype=np.float64)
+        flagged = np.nonzero(g >= self.result.cutoff.value)[0].astype(np.intp)
+        return BatchScores(scores, flagged)
+
+    def save(self, path) -> "Path":
+        """Persist the model (index arrays + data + result) to one ``.npz``."""
+        from repro.io.models import save_model
+
+        return save_model(self, path)
+
+    @classmethod
+    def load(cls, path) -> "McCatchModel":
+        """Load a model saved by :meth:`save`."""
+        from repro.io.models import load_model
+
+        return load_model(path)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = type(self.index).__name__ if self.index is not None else "none"
+        return (
+            f"McCatchModel(n={self.n}, index={kind}, "
+            f"microclusters={len(self.result.microclusters)})"
+        )
 
 
 def detect_microclusters(data, metric: Callable | None = None, **kwargs) -> McCatchResult:

@@ -30,10 +30,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.mccatch import McCatch
+from repro.core.mccatch import McCatch, McCatchModel
 from repro.core.result import McCatchResult
-from repro.core.scoring import point_score
-from repro.engine import nearest_distances_to
 from repro.metric.base import MetricSpace
 
 
@@ -122,6 +120,7 @@ class StreamingMcCatch:
         self._n_seen = 0
         self._last_fit_size = 0
         self._result: McCatchResult | None = None
+        self._model: McCatchModel | None = None  # lazy scoring view of _result
 
     # -- public API ----------------------------------------------------------
 
@@ -194,6 +193,7 @@ class StreamingMcCatch:
         # Snapshot the fitted elements: provisional scoring must look up
         # the model's inliers even after window eviction shifts positions.
         self._fit_window = list(self._window)
+        self._model = None  # rebuilt lazily against the new fit
         return self._result
 
     # -- internals -----------------------------------------------------------
@@ -225,29 +225,18 @@ class StreamingMcCatch:
     def _provisional(self, rows: list) -> tuple[np.ndarray, np.ndarray]:
         """Score new elements against the last fitted model.
 
-        ``g`` = distance to the nearest element the model considers an
-        inlier; score = ⟨1 + g/r₁⟩ (Alg. 4 line 22); flagged iff
-        ``g ≥ d``.  Costs O(|inliers|) distances per element — the
-        price of freshness between refits — but the distances run as
-        blocked bulk kernels via the batch engine
-        (:func:`repro.engine.nearest_distances_to`), not a per-element
-        Python loop.
+        Delegates to :meth:`McCatchModel.score_batch` — the one
+        provisional scorer shared with the persistence layer: ``g`` =
+        distance to the nearest model inlier, score = ⟨1 + g/r₁⟩
+        (Alg. 4 line 22), flagged iff ``g ≥ d``.  Costs O(|inliers|)
+        distances per element — the price of freshness between refits —
+        run as blocked bulk kernels, not a per-element Python loop.
         """
-        result = self._result
-        model_n = result.n
-        inlier_mask = np.ones(model_n, dtype=bool)
-        if result.outlier_indices.size:
-            inlier_mask[result.outlier_indices] = False
-        inlier_ids = np.nonzero(inlier_mask)[0]
-        if inlier_ids.size == 0:  # degenerate: everything was an outlier
-            inlier_ids = np.arange(model_n)
-        if self._is_vector:
-            space = MetricSpace(np.asarray(self._fit_window, dtype=np.float64))
-        else:
-            space = MetricSpace(self._fit_window, self.metric)
-        r1 = float(result.oracle.radii[0])
-        cutoff = result.cutoff.value
-        g = nearest_distances_to(space, rows, inlier_ids)
-        scores = np.array([point_score(float(gi), r1) for gi in g], dtype=np.float64)
-        flagged = np.nonzero(g >= cutoff)[0].astype(np.intp)
-        return scores, flagged
+        if self._model is None:
+            if self._is_vector:
+                space = MetricSpace(np.asarray(self._fit_window, dtype=np.float64))
+            else:
+                space = MetricSpace(self._fit_window, self.metric)
+            self._model = McCatchModel(space, None, self._result)
+        batch = self._model.score_batch(rows)
+        return batch.scores, batch.flagged

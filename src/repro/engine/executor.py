@@ -4,7 +4,10 @@ McCatch's cost is dominated by the SELFJOINC of Alg. 2 — every point
 range-counted at every radius of the ladder.  Executed naively that is
 ``n × a`` independent tree descents.  :class:`BatchQueryEngine` turns
 the same workload into *one* descent per point that answers all radii
-at once (``MetricIndex.count_within_many``), with chunked
+at once (``MetricIndex.count_within_many`` — on the metric trees a
+single node-major walk over their
+:class:`~repro.index.base.FlatTree` arrays, with every leaf bucket a
+slice of the shared element permutation), with chunked
 pairwise-distance blocks on the brute-force/vector path, and owns the
 paper's Sec. IV-G scheduling principles (sparse-focused,
 small-radii-only) that used to live inside
@@ -72,12 +75,17 @@ class BatchQueryEngine:
         if radius_block_size < 1:
             raise ValueError(f"radius_block_size must be >= 1, got {radius_block_size}")
         self.radius_block_size = int(radius_block_size)
-        # An index that only inherits the generic count_within_many (one
-        # count_within pass per radius) gains nothing from the batched
-        # schedule — and would lose the fine-grained sparse-focused
-        # shrinkage — so scheduling decisions fall back to the per-point
-        # plan for it.  scipy's CKDTreeIndex (the Euclidean "auto"
-        # default) is the prominent case.
+        # Flat-backed trees (anything carrying a FlatTree, including a
+        # loaded FrozenIndex) override count_within_many with one
+        # node-major walk over their arrays, so the batched schedule
+        # pays off.  An index that only inherits the generic
+        # count_within_many (one count_within pass per radius) gains
+        # nothing from it — and would lose the fine-grained
+        # sparse-focused shrinkage — so scheduling decisions fall back
+        # to the per-point plan for it.  scipy's CKDTreeIndex (the
+        # Euclidean "auto" default) is the prominent case.  The check
+        # stays attribute-free so the M-tree's lazy freeze is not
+        # triggered at engine construction.
         self._walks_batched = (
             type(index).count_within_many is not MetricIndex.count_within_many
         )

@@ -19,10 +19,17 @@ rest with stacked per-radius passes.  Available trees:
 - :class:`~repro.index.laesa.LAESAIndex` — pivot-table filtering for
   expensive metrics (tree edit distance, long strings);
 - :class:`~repro.index.bruteforce.BruteForceIndex` — correctness oracle.
+
+The metric trees all store their structure as a
+:class:`~repro.index.base.FlatTree` (struct-of-arrays, one element
+permutation, CSR children) walked by the shared flat
+``frontier_count_walk``; a fitted tree can be persisted with
+:func:`repro.io.save_index` and served as a
+:class:`~repro.index.base.FrozenIndex`.
 """
 
 from repro.index.balltree import BallTree
-from repro.index.base import UNKNOWN_COUNT, MetricIndex
+from repro.index.base import UNKNOWN_COUNT, FlatTree, FrozenIndex, MetricIndex
 from repro.index.bruteforce import BruteForceIndex
 from repro.index.ckdtree import CKDTreeIndex
 from repro.index.covertree import CoverTree
@@ -37,6 +44,8 @@ from repro.index.vptree import VPTree
 
 __all__ = [
     "MetricIndex",
+    "FlatTree",
+    "FrozenIndex",
     "BruteForceIndex",
     "VPTree",
     "KDTree",

@@ -11,31 +11,25 @@ Like the other trees here, range counting applies the two standard
 triangle-inequality cuts — skip a ball the query ball misses, count a
 ball it swallows — so the join cost tracks the data's intrinsic
 dimension (Lemma 1) rather than its embedding dimension.
+
+Storage is a :class:`~repro.index.base.FlatTree` built
+**level-synchronously**: the whole depth's pivot distances come from
+three paired-distance calls (members-to-pivot, members-to-``a``,
+members-to-``b``) and each segment is partitioned in place inside one
+shared permutation array — no per-node recursion or node objects.
+Queries run the shared flat
+:func:`~repro.index.base.frontier_count_walk`.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
-
 import numpy as np
 
-from repro.index.base import MetricIndex, check_radii_ascending, frontier_count_walk
+from repro.index.base import FlatQueryMixin, FlatTree, MetricIndex, concat_ranges
 from repro.metric.base import MetricSpace
 
 
-class _BallNode:
-    __slots__ = ("pivot", "radius", "size", "left", "right", "bucket")
-
-    def __init__(self):
-        self.pivot: int = -1
-        self.radius: float = 0.0
-        self.size: int = 0
-        self.left: "_BallNode | None" = None
-        self.right: "_BallNode | None" = None
-        self.bucket: np.ndarray | None = None
-
-
-class BallTree(MetricIndex):
+class BallTree(FlatQueryMixin, MetricIndex):
     """Binary ball tree with subtree-count pruning.
 
     Parameters
@@ -44,6 +38,13 @@ class BallTree(MetricIndex):
         The metric space and the element ids to index.
     leaf_size:
         Maximum bucket size before a node is split.
+
+    Attributes
+    ----------
+    flat:
+        The :class:`~repro.index.base.FlatTree` storage.  A node's
+        pivot is the first member of its slice; children partition the
+        whole slice (the pivot lands on one side of the split).
     """
 
     def __init__(self, space: MetricSpace, ids=None, *, leaf_size: int = 16):
@@ -51,93 +52,110 @@ class BallTree(MetricIndex):
         if leaf_size < 1:
             raise ValueError(f"leaf_size must be >= 1, got {leaf_size}")
         self.leaf_size = leaf_size
-        self.root = self._build(self.ids.copy())
+        self.flat = self._build_flat()
 
     # -- construction ----------------------------------------------------
 
-    def _build(self, members: np.ndarray) -> _BallNode:
-        node = _BallNode()
-        node.size = int(members.size)
-        node.pivot = int(members[0])
-        d0 = self.space.distances(node.pivot, members)
-        node.radius = float(d0.max()) if members.size > 1 else 0.0
-        if members.size <= self.leaf_size or node.radius == 0.0:
-            node.bucket = members
-            return node
+    def _build_flat(self) -> FlatTree:
+        """Level-synchronous vectorized construction (see module docstring)."""
+        space, leaf_size = self.space, self.leaf_size
+        elems = self.ids.copy()
+        n = elems.size
+        center: list[int] = []
+        radius: list[float] = []
+        size: list[int] = []
+        child_lo: list[int] = []
+        child_hi: list[int] = []
+        elem_lo: list[int] = []
+        elem_hi: list[int] = []
 
-        # Approximate diametral pair: a = farthest from the pivot,
-        # b = farthest from a; then a nearest-pivot assignment.
-        a = int(members[int(np.argmax(d0))])
-        d_a = self.space.distances(a, members)
-        b = int(members[int(np.argmax(d_a))])
-        d_b = self.space.distances(b, members)
-        left_mask = d_a <= d_b
-        left, right = members[left_mask], members[~left_mask]
-        if left.size == 0 or right.size == 0:
-            # All members coincide with one pivot's side (heavy ties):
-            # a leaf is the honest fallback.
-            node.bucket = members
-            return node
-        node.left = self._build(left)
-        node.right = self._build(right)
-        return node
+        def new_node(lo: int, hi: int) -> int:
+            idx = len(center)
+            center.append(int(elems[lo]))  # pivot = first member of the slice
+            radius.append(0.0)
+            size.append(hi - lo)
+            child_lo.append(0)
+            child_hi.append(0)
+            elem_lo.append(lo)
+            elem_hi.append(hi)
+            return idx
 
-    # -- queries ----------------------------------------------------------
+        def argmax_per_segment(values: np.ndarray, offsets: np.ndarray, sizes: np.ndarray):
+            """First position of each segment's maximum (relative to ``values``)."""
+            maxima = np.maximum.reduceat(values, offsets[:-1])
+            seg_of = np.repeat(np.arange(sizes.size), sizes)
+            hits = np.flatnonzero(values == np.repeat(maxima, sizes))
+            _, first = np.unique(seg_of[hits], return_index=True)
+            return hits[first]
 
-    def count_within(self, query_ids: Sequence[int] | np.ndarray, radius: float) -> np.ndarray:
-        """Per-query neighbor counts (see :class:`MetricIndex`)."""
-        query_ids = np.asarray(query_ids, dtype=np.intp)
-        return np.array([self._count_one(int(q), radius) for q in query_ids], dtype=np.intp)
+        level = [new_node(0, n)]
+        while level:
+            seg_lo = np.array([elem_lo[i] for i in level], dtype=np.intp)
+            seg_sizes = np.array([elem_hi[i] - elem_lo[i] for i in level], dtype=np.intp)
+            positions = concat_ranges(seg_lo, seg_sizes)
+            members = elems[positions]
+            d0 = space.paired_distances(np.repeat(elems[seg_lo], seg_sizes), members)
+            offsets = np.concatenate([[0], np.cumsum(seg_sizes)])
+            radii_level = np.maximum.reduceat(d0, offsets[:-1])
+            for k, i in enumerate(level):
+                if seg_sizes[k] > 1:
+                    radius[i] = float(radii_level[k])
+            split_k = np.flatnonzero((seg_sizes > leaf_size) & (radii_level > 0.0))
+            if not split_k.size:
+                break
 
-    def _count_one(self, query: int, radius: float) -> int:
-        total = 0
-        stack = [self.root]
-        while stack:
-            node = stack.pop()
-            d = self.space.distance(query, node.pivot)
-            if d - node.radius > radius:
-                continue
-            if d + node.radius <= radius:
-                total += node.size
-                continue
-            if node.bucket is not None:
-                dists = self.space.distances(query, node.bucket)
-                total += int((dists <= radius).sum())
-                continue
-            stack.append(node.left)
-            stack.append(node.right)
-        return total
+            # Approximate diametral pair for all splitting segments at
+            # once, each leg one paired-distance call: a = farthest from
+            # the pivot, b = farthest from a.
+            keep = np.repeat(np.isin(np.arange(len(level)), split_k), seg_sizes)
+            spl_pos = positions[keep]
+            spl_members = members[keep]
+            spl_sizes = seg_sizes[split_k]
+            spl_off = np.concatenate([[0], np.cumsum(spl_sizes)])
+            spl_d0 = d0[keep]
+            a_ids = spl_members[argmax_per_segment(spl_d0, spl_off, spl_sizes)]
+            d_a = space.paired_distances(np.repeat(a_ids, spl_sizes), spl_members)
+            b_ids = spl_members[argmax_per_segment(d_a, spl_off, spl_sizes)]
+            d_b = space.paired_distances(np.repeat(b_ids, spl_sizes), spl_members)
 
-    def count_within_many(self, query_ids, radii) -> np.ndarray:
-        """All radii for all queries in one node-major walk
-        (:func:`~repro.index.base.frontier_count_walk`)."""
-        query_ids = np.asarray(query_ids, dtype=np.intp)
-        radii = check_radii_ascending(radii)
-        def descend(stack, node, pos, lo, hi, d, diff, radii_):
-            stack.append((node.left, pos, lo, hi))
-            stack.append((node.right, pos, lo, hi))
+            left = d_a <= d_b
+            k_left = np.add.reduceat(left, spl_off[:-1])
+            # Stable partition of every splitting segment at once: left
+            # halves first, original order preserved within each half.
+            spl_seg = np.repeat(np.arange(split_k.size), spl_sizes)
+            elems[spl_pos] = spl_members[np.lexsort((~left, spl_seg))]
 
-        return frontier_count_walk(
-            self.space, query_ids, radii, self.root, lambda node: node.pivot, descend
+            next_level: list[int] = []
+            for j, k in enumerate(split_k):
+                # All members coincide with one pivot's side (heavy
+                # ties): a leaf is the honest fallback.
+                if k_left[j] == 0 or k_left[j] == spl_sizes[j]:
+                    continue
+                i = level[k]
+                lo, hi = elem_lo[i], elem_hi[i]
+                mid = lo + int(k_left[j])
+                left_node = new_node(lo, mid)
+                right_node = new_node(mid, hi)
+                child_lo[i], child_hi[i] = left_node, right_node + 1
+                next_level.extend((left_node, right_node))
+            level = next_level
+
+        return FlatTree(
+            center=center, threshold=np.zeros(len(center)), radius=radius, size=size,
+            child_lo=child_lo, child_hi=child_hi,
+            elem_lo=elem_lo, elem_hi=elem_hi, elems=elems,
         )
+
+    # -- queries (count_within / count_within_many from FlatQueryMixin) ---
 
     def diameter_estimate(self) -> float:
         """Root-ball two-scan estimate (Alg. 1 line 2 analogue)."""
         if self.ids.size == 1:
             return 0.0
-        d0 = self.space.distances(self.root.pivot, self.ids)
+        d0 = self.space.distances(int(self.flat.center[0]), self.ids)
         far = int(self.ids[int(np.argmax(d0))])
         return float(self.space.distances(far, self.ids).max())
 
     def leaf_sizes(self) -> list[int]:
         """Sizes of all leaf buckets (balance diagnostics)."""
-        sizes: list[int] = []
-        stack = [self.root]
-        while stack:
-            node = stack.pop()
-            if node.bucket is not None:
-                sizes.append(int(node.bucket.size))
-            else:
-                stack.append(node.left)
-                stack.append(node.right)
-        return sizes
+        return self.flat.leaf_sizes()

@@ -1,4 +1,4 @@
-"""The MetricIndex protocol shared by every tree in :mod:`repro.index`.
+"""The MetricIndex protocol and the flat array-backed tree substrate.
 
 An index covers a subset of a :class:`~repro.metric.base.MetricSpace`
 (identified by element ids) and answers four queries:
@@ -17,6 +17,19 @@ An index covers a subset of a :class:`~repro.metric.base.MetricSpace`
 Queries are expressed as element ids of the same space, so a join
 between outliers and inliers (Alg. 4) is just an index on the inlier
 ids queried with the outlier ids.
+
+Every metric tree in this package stores its structure as a
+:class:`FlatTree` — a struct-of-arrays container (contiguous ``center``
+/ ``threshold`` / ``radius`` / ``size`` / CSR-style children arrays
+plus one permutation of element ids) instead of a graph of Python node
+objects.  The VP- and ball trees build it directly with
+level-synchronous vectorized construction; the insertion-built trees
+(cover, M-, Slim-) keep their classic build logic and *freeze* into a
+FlatTree before the first query.  One shared
+:func:`frontier_count_walk` answers multi-radius count queries over
+the flat arrays, and because the layout is a handful of primitive
+NumPy arrays, any fitted index can be persisted to a single ``.npz``
+(:mod:`repro.io.indexes`) and served without rebuilding.
 """
 
 from __future__ import annotations
@@ -83,17 +96,22 @@ class MetricIndex(ABC):
     def pairs_within(self, radius: float) -> list[tuple[int, int]]:
         """All unordered indexed pairs ``(i, j)``, ``i < j``, within ``radius``.
 
-        Default implementation delegates to per-element range queries;
-        subclasses may override.  Only used on small sets (the outliers),
-        so the default is adequate.
+        Default implementation: one bulk distance row per element
+        against its successors, with the qualifying partners selected
+        and ordered by array ops (no per-pair Python loop).  Only used
+        on small sets (the outliers of Alg. 3), so the O(n^2) distance
+        cost is fine; subclasses may still override.
         """
         pairs: list[tuple[int, int]] = []
         ids = self.ids
-        for a in range(ids.size):
-            d = self.space.distances(int(ids[a]), ids[a + 1 :])
-            for off in np.nonzero(d <= radius)[0]:
-                i, j = int(ids[a]), int(ids[a + 1 + off])
-                pairs.append((i, j) if i < j else (j, i))
+        for a in range(ids.size - 1):
+            i = int(ids[a])
+            d = self.space.distances(i, ids[a + 1 :])
+            near = ids[a + 1 :][d <= radius]
+            if near.size:
+                lo = np.minimum(near, i)
+                hi = np.maximum(near, i)
+                pairs.extend(zip(lo.tolist(), hi.tolist()))
         return pairs
 
     def diameter_estimate(self) -> float:
@@ -124,67 +142,324 @@ def check_radii_ascending(radii: Sequence[float] | np.ndarray) -> np.ndarray:
     return radii
 
 
+class FlatTree:
+    """A metric tree as struct-of-arrays: the storage behind every tree here.
+
+    Node ``i`` is described across parallel arrays; children occupy the
+    contiguous node-index range ``[child_lo[i], child_hi[i])`` (equal
+    bounds mean a leaf), and the node's members are the slice
+    ``elems[elem_lo[i]:elem_hi[i]]`` of one shared permutation of
+    element ids — a leaf bucket is a view, never an allocation.
+
+    Attributes
+    ----------
+    center:
+        Element id of the node's center (vantage / pivot / routing
+        pivot).  For a leaf it is the first bucket member.
+    threshold:
+        VP median-split threshold (0 for non-VP trees).
+    radius:
+        Covering radius: every member lies within ``radius`` of the
+        center.
+    size:
+        Member count (``elem_hi - elem_lo``), kept explicit so the walk
+        credits swallowed subtrees without touching ``elems``.
+    child_lo, child_hi:
+        CSR-style children range (node indices).
+    elem_lo, elem_hi, elems:
+        Member slices into the shared element-id permutation.
+    d_parent:
+        Distance from each node's center to its parent's center, or
+        ``None``.  When present (frozen M-trees) the walk applies the
+        M-tree parent-distance filter before computing any distance to
+        the node.
+    vp_split:
+        True for VP-trees: an internal node's center is held by the
+        node itself (outside both children), the two children are
+        ``child_lo`` (inside) and ``child_lo + 1`` (outside), and the
+        walk tightens their radius windows with ``threshold``.
+    """
+
+    __slots__ = (
+        "center", "threshold", "radius", "size", "child_lo", "child_hi",
+        "elem_lo", "elem_hi", "elems", "d_parent", "vp_split",
+    )
+
+    def __init__(
+        self,
+        *,
+        center,
+        threshold,
+        radius,
+        size,
+        child_lo,
+        child_hi,
+        elem_lo,
+        elem_hi,
+        elems,
+        d_parent=None,
+        vp_split: bool = False,
+    ):
+        self.center = np.asarray(center, dtype=np.intp)
+        self.threshold = np.asarray(threshold, dtype=np.float64)
+        self.radius = np.asarray(radius, dtype=np.float64)
+        self.size = np.asarray(size, dtype=np.int64)
+        self.child_lo = np.asarray(child_lo, dtype=np.intp)
+        self.child_hi = np.asarray(child_hi, dtype=np.intp)
+        self.elem_lo = np.asarray(elem_lo, dtype=np.intp)
+        self.elem_hi = np.asarray(elem_hi, dtype=np.intp)
+        self.elems = np.asarray(elems, dtype=np.intp)
+        self.d_parent = None if d_parent is None else np.asarray(d_parent, dtype=np.float64)
+        self.vp_split = bool(vp_split)
+        n_nodes = self.center.size
+        for name in ("threshold", "radius", "size", "child_lo", "child_hi", "elem_lo", "elem_hi"):
+            if getattr(self, name).shape != (n_nodes,):
+                raise ValueError(f"FlatTree array {name!r} must have shape ({n_nodes},)")
+        if self.d_parent is not None and self.d_parent.shape != (n_nodes,):
+            raise ValueError("FlatTree d_parent must match the node count")
+        if n_nodes == 0:
+            raise ValueError("FlatTree needs at least one node")
+
+    @property
+    def n_nodes(self) -> int:
+        """Total number of nodes (internal + leaves)."""
+        return int(self.center.size)
+
+    def is_leaf(self, node: int) -> bool:
+        """True when ``node`` stores a bucket instead of children."""
+        return bool(self.child_lo[node] == self.child_hi[node])
+
+    def bucket(self, node: int) -> np.ndarray:
+        """Member-id slice of a leaf (a view into ``elems``)."""
+        return self.elems[self.elem_lo[node] : self.elem_hi[node]]
+
+    def leaf_sizes(self) -> list[int]:
+        """Sizes of all leaf buckets (balance diagnostics)."""
+        leaves = self.child_lo == self.child_hi
+        return (self.elem_hi[leaves] - self.elem_lo[leaves]).tolist()
+
+    def max_depth(self) -> int:
+        """Height of the tree (leaves are depth 1)."""
+        depth = 1
+        level = [0]
+        while True:
+            nxt: list[int] = []
+            for node in level:
+                nxt.extend(range(self.child_lo[node], self.child_hi[node]))
+            if not nxt:
+                return depth
+            depth += 1
+            level = nxt
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """The storage as plain arrays (the persistence payload)."""
+        out = {
+            "center": self.center,
+            "threshold": self.threshold,
+            "radius": self.radius,
+            "size": self.size,
+            "child_lo": self.child_lo,
+            "child_hi": self.child_hi,
+            "elem_lo": self.elem_lo,
+            "elem_hi": self.elem_hi,
+            "elems": self.elems,
+            "vp_split": np.bool_(self.vp_split),
+        }
+        if self.d_parent is not None:
+            out["d_parent"] = self.d_parent
+        return out
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "FlatTree":
+        """Rebuild a FlatTree from :meth:`to_arrays` output."""
+        return cls(
+            center=arrays["center"],
+            threshold=arrays["threshold"],
+            radius=arrays["radius"],
+            size=arrays["size"],
+            child_lo=arrays["child_lo"],
+            child_hi=arrays["child_hi"],
+            elem_lo=arrays["elem_lo"],
+            elem_hi=arrays["elem_hi"],
+            elems=arrays["elems"],
+            d_parent=arrays.get("d_parent"),
+            vp_split=bool(arrays["vp_split"]),
+        )
+
+
 def frontier_count_walk(
     space: MetricSpace,
     query_ids: np.ndarray,
     radii: np.ndarray,
-    root,
-    center_of,
-    descend,
+    tree: FlatTree,
 ) -> np.ndarray:
-    """Node-major multi-radius range counting over a metric tree.
+    """Node-major multi-radius range counting over a :class:`FlatTree`.
 
-    The shared engine room behind the single-walk ``count_within_many``
-    overrides of :class:`~repro.index.vptree.VPTree`,
-    :class:`~repro.index.balltree.BallTree` and
-    :class:`~repro.index.covertree.CoverTree`.  Nodes must expose a
-    covering ``radius``, a member ``size`` and an optional leaf
-    ``bucket``; ``center_of(node)`` returns the center element id, and
-    ``descend(stack, node, pos, lo, hi, d, diff, radii)`` handles an
-    internal node whose window survived — pushing children (with any
-    tree-specific window tightening) and crediting members not stored
-    in any child, such as the VP-tree's vantage point.
+    The shared engine room behind every flat-backed ``count_within`` /
+    ``count_within_many``.  The tree is walked once with a *query
+    frontier*: every stack entry carries an integer node index, the
+    queries that still reach that subtree and, per query, the window
+    ``[lo, hi)`` of radius positions not yet decided there.  Each node
+    computes one bulk distance block for its whole frontier (queries
+    stay the ``Q`` side of the metric, so floats are bit-identical to
+    per-query evaluation); radii whose ball swallows the node are
+    credited ``size[node]`` in O(1) and leave the window, radii whose
+    ball cannot reach it leave it too, and leaf buckets — slices of the
+    permutation array, not allocations — scatter range-adds into a
+    per-query difference array that one cumulative sum turns into
+    counts.
 
-    The tree is walked once with a *query frontier*: every stack entry
-    carries the queries that still reach that subtree plus, per query,
-    the window ``[lo, hi)`` of radius positions not yet decided there.
-    Each node computes one bulk distance block for its whole frontier
-    (queries stay the ``Q`` side of the metric, so floats are
-    bit-identical to the per-query walks'); radii whose ball swallows
-    the node are credited ``node.size`` in O(1) and leave the window,
-    radii whose ball cannot reach it leave it too, and leaf buckets
-    scatter range-adds into a per-query difference array that one
-    cumulative sum turns into counts.
+    Tree-specific behaviour is driven by the flat metadata: VP-trees
+    (``vp_split``) credit the vantage point held at internal nodes and
+    tighten each child's window with the median-split ``threshold``;
+    frozen M-trees (``d_parent``) apply the classic parent-distance
+    filter — ``|d(q, parent) − d_parent| − radius`` lower-bounds the
+    reachable radius — before computing any distance to a node.
     """
     nq, a = query_ids.size, radii.size
     diff = np.zeros((nq, a + 1), dtype=np.int64)
-    stack = [(root, np.arange(nq), np.zeros(nq, dtype=np.intp), np.full(nq, a, dtype=np.intp))]
+    center, node_radius, sizes = tree.center, tree.radius, tree.size
+    child_lo, child_hi = tree.child_lo, tree.child_hi
+    elems, elem_lo, elem_hi = tree.elems, tree.elem_lo, tree.elem_hi
+    threshold, d_parent = tree.threshold, tree.d_parent
+    vp = tree.vp_split
+    stack = [
+        (0, np.arange(nq), np.zeros(nq, dtype=np.intp), np.full(nq, a, dtype=np.intp), None)
+    ]
     while stack:
-        node, pos, lo, hi = stack.pop()
-        d = space.distances_among(query_ids[pos], [center_of(node)])[:, 0]
-        full = np.searchsorted(radii, d + node.radius)
+        node, pos, lo, hi, dpar = stack.pop()
+        if dpar is not None:
+            bound = np.abs(dpar - d_parent[node]) - node_radius[node]
+            lo = np.maximum(lo, np.searchsorted(radii, bound))
+            live = lo < hi
+            if not live.any():
+                continue  # pruned for every query without a distance call
+            if not live.all():
+                pos, lo, hi = pos[live], lo[live], hi[live]
+        d = space.distances_among(query_ids[pos], [center[node]])[:, 0]
+        full = np.searchsorted(radii, d + node_radius[node])
         swallow = full < hi
         if swallow.any():  # ball swallowed whole
             rows = pos[swallow]
-            diff[rows, np.maximum(full[swallow], lo[swallow])] += node.size
-            diff[rows, hi[swallow]] -= node.size
+            diff[rows, np.maximum(full[swallow], lo[swallow])] += sizes[node]
+            diff[rows, hi[swallow]] -= sizes[node]
             hi = np.minimum(hi, full)
-        lo = np.maximum(lo, np.searchsorted(radii, d - node.radius))
+        lo = np.maximum(lo, np.searchsorted(radii, d - node_radius[node]))
         live = lo < hi
         if not live.any():
             continue
         if not live.all():
             pos, lo, hi, d = pos[live], lo[live], hi[live], d[live]
-        if node.bucket is not None:
-            dm = space.distances_among(query_ids[pos], node.bucket)
+        lo_c, hi_c = child_lo[node], child_hi[node]
+        if lo_c == hi_c:  # leaf: bucket is a slice of the permutation array
+            dm = space.distances_among(query_ids[pos], elems[elem_lo[node] : elem_hi[node]])
             e = np.searchsorted(radii, dm)  # (m, b) radius position per member
             valid = e < hi[:, None]
             rows = np.broadcast_to(pos[:, None], e.shape)[valid]
             np.add.at(diff, (rows, np.maximum(e, lo[:, None])[valid]), 1)
             np.add.at(diff, (rows, np.broadcast_to(hi[:, None], e.shape)[valid]), -1)
             continue
-        descend(stack, node, pos, lo, hi, d, diff, radii)
+        if vp:
+            sv = np.searchsorted(radii, d)
+            self_in = sv < hi
+            if self_in.any():  # the vantage point itself
+                rows = pos[self_in]
+                diff[rows, np.maximum(sv[self_in], lo[self_in])] += 1
+                diff[rows, hi[self_in]] -= 1
+            t = threshold[node]
+            lo_in = np.maximum(lo, np.searchsorted(radii, d - t))
+            m = lo_in < hi
+            if m.any():
+                stack.append((int(lo_c), pos[m], lo_in[m], hi[m], None))
+            lo_out = np.maximum(lo, np.searchsorted(radii, t - d, side="right"))
+            m = lo_out < hi
+            if m.any():
+                stack.append((int(lo_c) + 1, pos[m], lo_out[m], hi[m], None))
+            continue
+        child_dpar = d if d_parent is not None else None
+        for child in range(lo_c, hi_c):
+            stack.append((int(child), pos, lo, hi, child_dpar))
     return np.cumsum(diff[:, :a], axis=1)
+
+
+class FlatQueryMixin:
+    """Count queries answered by :func:`frontier_count_walk` over ``self.flat``.
+
+    Mixed into every flat-backed index; requires ``self.space`` and a
+    ``self.flat`` :class:`FlatTree`.
+    """
+
+    space: MetricSpace
+    flat: FlatTree
+
+    def count_within(self, query_ids: Sequence[int] | np.ndarray, radius: float) -> np.ndarray:
+        """Per-query neighbor counts (see :class:`MetricIndex`)."""
+        query_ids = np.asarray(query_ids, dtype=np.intp)
+        counts = frontier_count_walk(
+            self.space, query_ids, np.array([float(radius)]), self.flat
+        )
+        return counts[:, 0].astype(np.intp)
+
+    def count_within_many(self, query_ids, radii) -> np.ndarray:
+        """All radii for all queries in one node-major walk
+        (:func:`frontier_count_walk`)."""
+        query_ids = np.asarray(query_ids, dtype=np.intp)
+        radii = check_radii_ascending(radii)
+        return frontier_count_walk(self.space, query_ids, radii, self.flat)
+
+
+class FrozenIndex(FlatQueryMixin, MetricIndex):
+    """A fitted index reduced to its flat arrays — what persistence loads.
+
+    Answers every :class:`MetricIndex` query from a :class:`FlatTree`
+    alone; construction logic, node objects and RNG state are gone.
+    ``diameter_estimate`` returns the value recorded at save time, so a
+    loaded index anchors the same radius ladder as the one that was
+    saved.
+    """
+
+    def __init__(
+        self,
+        space: MetricSpace,
+        ids,
+        flat: FlatTree,
+        *,
+        kind: str = "frozen",
+        diameter: float | None = None,
+    ):
+        super().__init__(space, ids)
+        self.flat = flat
+        self.kind = str(kind)
+        self._diameter = None if diameter is None else float(diameter)
+
+    def diameter_estimate(self) -> float:
+        """The diameter recorded at save time (two-scan fallback without one)."""
+        if self._diameter is not None:
+            return self._diameter
+        return super().diameter_estimate()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FrozenIndex(kind={self.kind!r}, n={len(self)}, nodes={self.flat.n_nodes})"
+
+
+def concat_ranges(starts: np.ndarray, sizes: np.ndarray) -> np.ndarray:
+    """``np.concatenate([np.arange(s, s + k) for s, k in zip(starts, sizes)])``
+    without the per-range Python loop (all ``sizes`` must be positive).
+
+    The level-synchronous builds use this to gather every tree level's
+    member positions — one cumsum over a step array whose entries are 1
+    inside a range and the jump to the next start at each boundary.
+    """
+    starts = np.asarray(starts, dtype=np.intp)
+    sizes = np.asarray(sizes, dtype=np.intp)
+    total = int(sizes.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.intp)
+    step = np.ones(total, dtype=np.intp)
+    step[0] = starts[0]
+    if starts.size > 1:
+        step[np.cumsum(sizes[:-1])] = starts[1:] - (starts[:-1] + sizes[:-1]) + 1
+    return np.cumsum(step)
 
 
 def chunked(array: np.ndarray, size: int):

@@ -22,11 +22,11 @@ the number of children per node is bounded by the doubling constant.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from collections import deque
 
 import numpy as np
 
-from repro.index.base import MetricIndex, check_radii_ascending, frontier_count_walk
+from repro.index.base import FlatQueryMixin, FlatTree, MetricIndex
 from repro.metric.base import MetricSpace
 
 
@@ -42,7 +42,7 @@ class _CoverNode:
         self.bucket: np.ndarray | None = None  # leaf members (includes center)
 
 
-class CoverTree(MetricIndex):
+class CoverTree(FlatQueryMixin, MetricIndex):
     """Batch-built cover tree with subtree-count pruning.
 
     Parameters
@@ -54,6 +54,14 @@ class CoverTree(MetricIndex):
     base:
         Scale base (default 2.0, the classic cover tree's); children at
         scale ``s`` are separated by more than ``base**(s-1)``.
+
+    Notes
+    -----
+    Construction keeps the classic top-down farthest-point separation
+    over object nodes (``self.root``, used by the invariant tests and
+    :meth:`max_depth`/:meth:`node_count`), then *freezes* the result
+    into a :class:`~repro.index.base.FlatTree` (``self.flat``) that all
+    queries — and persistence — run against.
     """
 
     def __init__(self, space: MetricSpace, ids=None, *, leaf_size: int = 16, base: float = 2.0):
@@ -65,6 +73,7 @@ class CoverTree(MetricIndex):
         self.leaf_size = leaf_size
         self.base = float(base)
         self.root = self._build_root()
+        self.flat = self._freeze()
 
     # -- construction ----------------------------------------------------
 
@@ -121,43 +130,59 @@ class CoverTree(MetricIndex):
             )
         return node
 
-    # -- queries ----------------------------------------------------------
+    # -- freeze pass -------------------------------------------------------
 
-    def count_within(self, query_ids: Sequence[int] | np.ndarray, radius: float) -> np.ndarray:
-        """Per-query neighbor counts (see :class:`MetricIndex`)."""
-        query_ids = np.asarray(query_ids, dtype=np.intp)
-        return np.array([self._count_one(int(q), radius) for q in query_ids], dtype=np.intp)
+    def _freeze(self) -> FlatTree:
+        """Flatten the object tree into struct-of-arrays storage.
 
-    def _count_one(self, query: int, radius: float) -> int:
-        total = 0
-        stack = [self.root]
-        while stack:
-            node = stack.pop()
-            d = self.space.distance(query, node.center)
-            if d - node.radius > radius:
-                continue  # covering ball misses the query ball
-            if d + node.radius <= radius:
-                total += node.size  # covering ball swallowed whole
+        BFS layout: a node's children occupy a contiguous index range,
+        and every node's members are a contiguous slice of one element
+        permutation (children partition their parent's slice in order;
+        leaf buckets fill the slices in).  Queries and persistence only
+        touch the result.
+        """
+        n = len(self.ids)
+        elems = np.empty(n, dtype=np.intp)
+        center: list[int] = []
+        radius: list[float] = []
+        size: list[int] = []
+        child_lo: list[int] = []
+        child_hi: list[int] = []
+        elem_lo: list[int] = []
+        elem_hi: list[int] = []
+
+        def new_node(onode: _CoverNode, lo: int, hi: int) -> int:
+            idx = len(center)
+            center.append(int(onode.center))
+            radius.append(float(onode.radius))
+            size.append(int(onode.size))
+            child_lo.append(0)
+            child_hi.append(0)
+            elem_lo.append(lo)
+            elem_hi.append(hi)
+            return idx
+
+        queue: deque[tuple[_CoverNode, int]] = deque()
+        queue.append((self.root, new_node(self.root, 0, n)))
+        while queue:
+            onode, idx = queue.popleft()
+            lo, hi = elem_lo[idx], elem_hi[idx]
+            if onode.bucket is not None:
+                elems[lo:hi] = onode.bucket
                 continue
-            if node.bucket is not None:
-                dists = self.space.distances(query, node.bucket)
-                total += int((dists <= radius).sum())
-                continue
-            stack.extend(node.children)
-        return total
-
-    def count_within_many(self, query_ids, radii) -> np.ndarray:
-        """All radii for all queries in one node-major walk
-        (:func:`~repro.index.base.frontier_count_walk`)."""
-        query_ids = np.asarray(query_ids, dtype=np.intp)
-        radii = check_radii_ascending(radii)
-        def descend(stack, node, pos, lo, hi, d, diff, radii_):
-            for child in node.children:
-                stack.append((child, pos, lo, hi))
-
-        return frontier_count_walk(
-            self.space, query_ids, radii, self.root, lambda node: node.center, descend
+            first = len(center)
+            cursor = lo
+            for child in onode.children:
+                queue.append((child, new_node(child, cursor, cursor + child.size)))
+                cursor += child.size
+            child_lo[idx], child_hi[idx] = first, first + len(onode.children)
+        return FlatTree(
+            center=center, threshold=np.zeros(len(center)), radius=radius, size=size,
+            child_lo=child_lo, child_hi=child_hi,
+            elem_lo=elem_lo, elem_hi=elem_hi, elems=elems,
         )
+
+    # -- queries (count_within / count_within_many from FlatQueryMixin) ---
 
     def diameter_estimate(self) -> float:
         """Root-children rule (Alg. 1 line 2) with a two-scan refinement."""

@@ -11,12 +11,17 @@ count-only principle again.
 
 from __future__ import annotations
 
-from bisect import bisect_left
+from collections import deque
 from typing import Sequence
 
 import numpy as np
 
-from repro.index.base import MetricIndex, check_radii_ascending
+from repro.index.base import (
+    FlatTree,
+    MetricIndex,
+    check_radii_ascending,
+    frontier_count_walk,
+)
 from repro.metric.base import MetricSpace
 
 
@@ -65,8 +70,109 @@ class MTree(MetricIndex):
         self.capacity = capacity
         self.root = _Node(is_leaf=True)
         self._distance_calls = 0
+        self._flat: FlatTree | None = None
         for i in self.ids:
             self._insert(int(i))
+
+    @property
+    def flat(self) -> FlatTree:
+        """The frozen :class:`~repro.index.base.FlatTree` (built lazily).
+
+        Insertion keeps the classic object-node M-tree; the first
+        multi-radius query (or a save) freezes it into flat arrays.
+        Structure-mutating passes (e.g. the Slim-tree's slim-down)
+        invalidate the cache.
+        """
+        if self._flat is None:
+            self._flat = self._freeze()
+        return self._flat
+
+    def _freeze(self) -> FlatTree:
+        """Flatten routing entries into struct-of-arrays storage.
+
+        Each routing entry becomes one flat node carrying its pivot,
+        covering radius, subtree size and — for the M-tree's classic
+        pre-distance pruning — the distance to its parent pivot.  A
+        leaf _Node becomes a flat leaf whose bucket (a slice of the
+        element permutation) holds its entries' pivot ids.  The object
+        root has no routing entry, so the flat root is synthesized: its
+        center is the first root pivot and its radius the
+        ``max(d(center, p_i) + r_i)`` covering bound; the root
+        children's parent distances are computed honestly here so the
+        parent filter stays exact.
+        """
+        n = len(self.ids)
+        elems = np.empty(n, dtype=np.intp)
+        center: list[int] = []
+        radius: list[float] = []
+        size: list[int] = []
+        child_lo: list[int] = []
+        child_hi: list[int] = []
+        elem_lo: list[int] = []
+        elem_hi: list[int] = []
+        d_parent: list[float] = []
+
+        def new_node(c: int, rad: float, sz: int, dpar: float, lo: int, hi: int) -> int:
+            idx = len(center)
+            center.append(int(c))
+            radius.append(float(rad))
+            size.append(int(sz))
+            child_lo.append(0)
+            child_hi.append(0)
+            elem_lo.append(lo)
+            elem_hi.append(hi)
+            d_parent.append(float(dpar))
+            return idx
+
+        def make_flat() -> FlatTree:
+            return FlatTree(
+                center=center, threshold=np.zeros(len(center)), radius=radius,
+                size=size, child_lo=child_lo, child_hi=child_hi,
+                elem_lo=elem_lo, elem_hi=elem_hi, elems=elems, d_parent=d_parent,
+            )
+
+        root = self.root
+        if root.is_leaf:  # tiny tree: everything hangs off one leaf node
+            members = np.array([e.pivot_id for e in root.entries], dtype=np.intp)
+            c = int(members[0])
+            rad = float(self.space.distances(c, members).max()) if members.size > 1 else 0.0
+            new_node(c, rad, members.size, 0.0, 0, n)
+            elems[:] = members
+            return make_flat()
+
+        pivots = np.array([e.pivot_id for e in root.entries], dtype=np.intp)
+        c = int(pivots[0])
+        d_piv = self.space.distances(c, pivots)
+        rad = max(
+            float(d_piv[k]) + float(e.radius) for k, e in enumerate(root.entries)
+        )
+        root_idx = new_node(c, rad, root.size(), 0.0, 0, n)
+        queue: deque[tuple[_Entry, int]] = deque()
+        first = len(center)
+        cursor = 0
+        for k, e in enumerate(root.entries):
+            queue.append(
+                (e, new_node(e.pivot_id, e.radius, e.size, float(d_piv[k]), cursor, cursor + e.size))
+            )
+            cursor += e.size
+        child_lo[root_idx], child_hi[root_idx] = first, first + len(root.entries)
+
+        while queue:
+            entry, idx = queue.popleft()
+            node = entry.subtree
+            lo, hi = elem_lo[idx], elem_hi[idx]
+            if node.is_leaf:
+                elems[lo:hi] = [e.pivot_id for e in node.entries]
+                continue
+            first = len(center)
+            cursor = lo
+            for e in node.entries:
+                queue.append(
+                    (e, new_node(e.pivot_id, e.radius, e.size, e.d_parent, cursor, cursor + e.size))
+                )
+                cursor += e.size
+            child_lo[idx], child_hi[idx] = first, first + len(node.entries)
+        return make_flat()
 
     # -- distances --------------------------------------------------------
 
@@ -237,57 +343,18 @@ class MTree(MetricIndex):
         return total
 
     def count_within_many(self, query_ids, radii) -> np.ndarray:
-        """All radii in one descent per query (see :class:`MetricIndex`).
+        """All radii for all queries in one node-major walk over the
+        frozen flat arrays (:func:`~repro.index.base.frontier_count_walk`).
 
-        The parent-distance filter and the pivot distance are evaluated
-        once per routing entry and shared across the whole radius
-        ladder; each stack entry carries the window ``[lo, hi)`` of
-        radius positions still undecided for its subtree.  Inherited by
+        The walk applies the M-tree's classic parent-distance filter —
+        stored per flat node as ``d_parent`` — before computing any
+        distance to a node, and shares every distance across the whole
+        radius ladder.  Inherited by
         :class:`~repro.index.slimtree.SlimTree`.
         """
         query_ids = np.asarray(query_ids, dtype=np.intp)
         radii = check_radii_ascending(radii)
-        ladder = radii.tolist()
-        out = np.empty((query_ids.size, radii.size), dtype=np.int64)
-        for row, q in enumerate(query_ids):
-            out[row] = np.cumsum(self._count_one_many(int(q), ladder))
-        return out
-
-    def _count_one_many(self, q: int, ladder: list[float]) -> list[int]:
-        """Difference array of counts over the radius ladder for one query."""
-        a = len(ladder)
-        diff = [0] * (a + 1)
-        # Stack holds (node, distance from q to the node's parent pivot
-        # or None, undecided radii window [lo, hi)).
-        stack: list[tuple[_Node, float | None, int, int]] = [(self.root, None, 0, a)]
-        while stack:
-            node, d_qp, lo, hi = stack.pop()
-            for e in node.entries:
-                elo, ehi = lo, hi
-                if d_qp is not None:
-                    bound = bisect_left(ladder, abs(d_qp - e.d_parent) - e.radius)
-                    if bound > elo:
-                        elo = bound
-                    if elo >= ehi:
-                        continue  # pruned for every radius, no distance computed
-                d = self._d(q, e.pivot_id)
-                if e.subtree is None:
-                    sv = bisect_left(ladder, d)
-                    if sv < ehi:
-                        diff[sv if sv > elo else elo] += 1
-                        diff[ehi] -= 1
-                    continue
-                full = bisect_left(ladder, d + e.radius)
-                if full < ehi:
-                    diff[full if full > elo else elo] += e.size  # ball inside the query
-                    diff[ehi] -= e.size
-                    ehi = full
-                low = bisect_left(ladder, d - e.radius)
-                if low > elo:
-                    elo = low
-                if elo < ehi:
-                    stack.append((e.subtree, d, elo, ehi))
-        return diff[:a]
+        return frontier_count_walk(self.space, query_ids, radii, self.flat)
 
     def diameter_estimate(self) -> float:
         """Alg. 1 line 2: max distance between direct successors of the root.

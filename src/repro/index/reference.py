@@ -1,0 +1,260 @@
+"""Pre-refactor object-node trees: the differential baseline.
+
+Before the flat array-backed storage (:class:`~repro.index.base.FlatTree`),
+the VP- and ball trees were graphs of Python ``__slots__`` node objects
+built by per-node recursion and walked by popping one tuple per node.
+This module preserves those implementations verbatim — builds, per-query
+walks and the object-node frontier walk — under ``Reference*`` names, for
+two jobs only:
+
+- the structural-equivalence tests, which assert the flat trees'
+  ``count_within_many`` matches the object-tree walk bit for bit across
+  metric families and boundary radii (the PR 1 regression class);
+- ``benchmarks/bench_index_build.py``, which measures what the
+  vectorized level-synchronous builds buy over these.
+
+They are not exported by the index factory and should not be used in
+application code.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.index.base import MetricIndex, check_radii_ascending
+from repro.metric.base import MetricSpace
+from repro.utils.rng import check_random_state
+
+
+def _object_frontier_walk(
+    space: MetricSpace,
+    query_ids: np.ndarray,
+    radii: np.ndarray,
+    root,
+    center_of,
+    descend,
+) -> np.ndarray:
+    """The pre-refactor node-major walk over object-node trees."""
+    nq, a = query_ids.size, radii.size
+    diff = np.zeros((nq, a + 1), dtype=np.int64)
+    stack = [(root, np.arange(nq), np.zeros(nq, dtype=np.intp), np.full(nq, a, dtype=np.intp))]
+    while stack:
+        node, pos, lo, hi = stack.pop()
+        d = space.distances_among(query_ids[pos], [center_of(node)])[:, 0]
+        full = np.searchsorted(radii, d + node.radius)
+        swallow = full < hi
+        if swallow.any():  # ball swallowed whole
+            rows = pos[swallow]
+            diff[rows, np.maximum(full[swallow], lo[swallow])] += node.size
+            diff[rows, hi[swallow]] -= node.size
+            hi = np.minimum(hi, full)
+        lo = np.maximum(lo, np.searchsorted(radii, d - node.radius))
+        live = lo < hi
+        if not live.any():
+            continue
+        if not live.all():
+            pos, lo, hi, d = pos[live], lo[live], hi[live], d[live]
+        if node.bucket is not None:
+            dm = space.distances_among(query_ids[pos], node.bucket)
+            e = np.searchsorted(radii, dm)  # (m, b) radius position per member
+            valid = e < hi[:, None]
+            rows = np.broadcast_to(pos[:, None], e.shape)[valid]
+            np.add.at(diff, (rows, np.maximum(e, lo[:, None])[valid]), 1)
+            np.add.at(diff, (rows, np.broadcast_to(hi[:, None], e.shape)[valid]), -1)
+            continue
+        descend(stack, node, pos, lo, hi, d, diff, radii)
+    return np.cumsum(diff[:, :a], axis=1)
+
+
+class _VPNode:
+    __slots__ = ("vantage", "threshold", "radius", "size", "inside", "outside", "bucket")
+
+    def __init__(self):
+        self.vantage: int = -1
+        self.threshold: float = 0.0
+        self.radius: float = 0.0  # max distance from vantage to any member
+        self.size: int = 0
+        self.inside: "_VPNode | None" = None
+        self.outside: "_VPNode | None" = None
+        self.bucket: np.ndarray | None = None  # leaf members (includes vantage)
+
+
+class ReferenceVPTree(MetricIndex):
+    """The pre-refactor recursive object-node VP-tree (see module docstring)."""
+
+    def __init__(self, space: MetricSpace, ids=None, *, leaf_size: int = 16, random_state=0):
+        super().__init__(space, ids)
+        if leaf_size < 1:
+            raise ValueError(f"leaf_size must be >= 1, got {leaf_size}")
+        self.leaf_size = leaf_size
+        self._rng = check_random_state(random_state)
+        self.root = self._build(self.ids.copy())
+
+    def _build(self, members: np.ndarray) -> _VPNode:
+        node = _VPNode()
+        node.size = int(members.size)
+        if members.size <= self.leaf_size:
+            node.vantage = int(members[0])
+            node.bucket = members
+            if members.size > 1:
+                d = self.space.distances(node.vantage, members)
+                node.radius = float(d.max())
+            return node
+        pick = int(self._rng.integers(members.size))
+        node.vantage = int(members[pick])
+        rest = np.delete(members, pick)
+        d = self.space.distances(node.vantage, rest)
+        node.radius = float(d.max())
+        node.threshold = float(np.median(d))
+        inside_mask = d <= node.threshold
+        inside, outside = rest[inside_mask], rest[~inside_mask]
+        # Degenerate medians (many ties) can empty one side; fall back to
+        # a leaf rather than recursing forever.
+        if inside.size == 0 or outside.size == 0:
+            node.bucket = members
+            return node
+        node.inside = self._build(inside)
+        node.outside = self._build(outside)
+        return node
+
+    def count_within(self, query_ids: Sequence[int] | np.ndarray, radius: float) -> np.ndarray:
+        query_ids = np.asarray(query_ids, dtype=np.intp)
+        return np.array([self._count_one(int(q), radius) for q in query_ids], dtype=np.intp)
+
+    def _count_one(self, query: int, radius: float) -> int:
+        total = 0
+        stack = [(self.root, None)]  # (node, known distance to vantage or None)
+        while stack:
+            node, d_v = stack.pop()
+            if d_v is None:
+                d_v = self.space.distance(query, node.vantage)
+            if node.bucket is not None:
+                if d_v + node.radius <= radius:
+                    total += node.size  # whole leaf inside the query ball
+                else:
+                    d = self.space.distances(query, node.bucket)
+                    total += int((d <= radius).sum())
+                continue
+            if d_v + node.radius <= radius:
+                total += node.size  # whole subtree inside the query ball
+                continue
+            if d_v <= radius:
+                total += 1  # the vantage point itself
+            if node.inside is not None and d_v - radius <= node.threshold:
+                stack.append((node.inside, None))
+            if node.outside is not None and d_v + radius > node.threshold:
+                stack.append((node.outside, None))
+        return total
+
+    def count_within_many(self, query_ids, radii) -> np.ndarray:
+        query_ids = np.asarray(query_ids, dtype=np.intp)
+        radii = check_radii_ascending(radii)
+
+        def descend(stack, node, pos, lo, hi, d_v, diff, radii_):
+            sv = np.searchsorted(radii_, d_v)
+            self_in = sv < hi
+            if self_in.any():  # the vantage point itself
+                rows = pos[self_in]
+                diff[rows, np.maximum(sv[self_in], lo[self_in])] += 1
+                diff[rows, hi[self_in]] -= 1
+            if node.inside is not None:
+                lo_in = np.maximum(lo, np.searchsorted(radii_, d_v - node.threshold))
+                m = lo_in < hi
+                if m.any():
+                    stack.append((node.inside, pos[m], lo_in[m], hi[m]))
+            if node.outside is not None:
+                lo_out = np.maximum(
+                    lo, np.searchsorted(radii_, node.threshold - d_v, side="right")
+                )
+                m = lo_out < hi
+                if m.any():
+                    stack.append((node.outside, pos[m], lo_out[m], hi[m]))
+
+        return _object_frontier_walk(
+            self.space, query_ids, radii, self.root, lambda node: node.vantage, descend
+        )
+
+
+class _BallNode:
+    __slots__ = ("pivot", "radius", "size", "left", "right", "bucket")
+
+    def __init__(self):
+        self.pivot: int = -1
+        self.radius: float = 0.0
+        self.size: int = 0
+        self.left: "_BallNode | None" = None
+        self.right: "_BallNode | None" = None
+        self.bucket: np.ndarray | None = None
+
+
+class ReferenceBallTree(MetricIndex):
+    """The pre-refactor recursive object-node ball tree (see module docstring)."""
+
+    def __init__(self, space: MetricSpace, ids=None, *, leaf_size: int = 16):
+        super().__init__(space, ids)
+        if leaf_size < 1:
+            raise ValueError(f"leaf_size must be >= 1, got {leaf_size}")
+        self.leaf_size = leaf_size
+        self.root = self._build(self.ids.copy())
+
+    def _build(self, members: np.ndarray) -> _BallNode:
+        node = _BallNode()
+        node.size = int(members.size)
+        node.pivot = int(members[0])
+        d0 = self.space.distances(node.pivot, members)
+        node.radius = float(d0.max()) if members.size > 1 else 0.0
+        if members.size <= self.leaf_size or node.radius == 0.0:
+            node.bucket = members
+            return node
+
+        # Approximate diametral pair: a = farthest from the pivot,
+        # b = farthest from a; then a nearest-pivot assignment.
+        a = int(members[int(np.argmax(d0))])
+        d_a = self.space.distances(a, members)
+        b = int(members[int(np.argmax(d_a))])
+        d_b = self.space.distances(b, members)
+        left_mask = d_a <= d_b
+        left, right = members[left_mask], members[~left_mask]
+        if left.size == 0 or right.size == 0:
+            node.bucket = members
+            return node
+        node.left = self._build(left)
+        node.right = self._build(right)
+        return node
+
+    def count_within(self, query_ids: Sequence[int] | np.ndarray, radius: float) -> np.ndarray:
+        query_ids = np.asarray(query_ids, dtype=np.intp)
+        return np.array([self._count_one(int(q), radius) for q in query_ids], dtype=np.intp)
+
+    def _count_one(self, query: int, radius: float) -> int:
+        total = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            d = self.space.distance(query, node.pivot)
+            if d - node.radius > radius:
+                continue
+            if d + node.radius <= radius:
+                total += node.size
+                continue
+            if node.bucket is not None:
+                dists = self.space.distances(query, node.bucket)
+                total += int((dists <= radius).sum())
+                continue
+            stack.append(node.left)
+            stack.append(node.right)
+        return total
+
+    def count_within_many(self, query_ids, radii) -> np.ndarray:
+        query_ids = np.asarray(query_ids, dtype=np.intp)
+        radii = check_radii_ascending(radii)
+
+        def descend(stack, node, pos, lo, hi, d, diff, radii_):
+            stack.append((node.left, pos, lo, hi))
+            stack.append((node.right, pos, lo, hi))
+
+        return _object_frontier_walk(
+            self.space, query_ids, radii, self.root, lambda node: node.pivot, descend
+        )

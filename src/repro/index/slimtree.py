@@ -129,6 +129,8 @@ class SlimTree(MTree):
             moves += moved
             if moved == 0:
                 break
+        if moves:
+            self._flat = None  # structure changed: re-freeze before the next walk
         return moves
 
     def _slim_down_pass(self, node: _Node) -> int:

@@ -1,13 +1,20 @@
-"""Dataset loading and result serialization.
+"""Dataset loading, result serialization, and fitted-artifact persistence.
 
 - :mod:`repro.io.loaders` — CSV/JSON-lines readers and writers for
   vector datasets (with optional label column) and object datasets
   (strings, token sequences);
 - :mod:`repro.io.results` — round-trippable JSON serialization of
   :class:`~repro.core.result.McCatchResult` plus a Markdown summary,
-  so a detection run can be archived, diffed, and rendered.
+  so a detection run can be archived, diffed, and rendered;
+- :mod:`repro.io.indexes` — flat array-backed index persistence to a
+  single ``.npz``, loaded back as a
+  :class:`~repro.index.base.FrozenIndex`;
+- :mod:`repro.io.models` — whole fitted-model persistence
+  (:class:`~repro.core.mccatch.McCatchModel`): index + data + result in
+  one archive, for fit-once-serve-many deployments.
 """
 
+from repro.io.indexes import load_index, save_index
 from repro.io.loaders import (
     load_labeled_csv,
     load_strings,
@@ -15,6 +22,7 @@ from repro.io.loaders import (
     save_strings,
     save_vectors_csv,
 )
+from repro.io.models import load_model, save_model
 from repro.io.results import (
     load_result_json,
     result_from_dict,
@@ -34,4 +42,8 @@ __all__ = [
     "save_result_json",
     "load_result_json",
     "result_to_markdown",
+    "save_index",
+    "load_index",
+    "save_model",
+    "load_model",
 ]

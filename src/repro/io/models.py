@@ -1,0 +1,68 @@
+"""Fitted McCatch model persistence: fit once, serve many.
+
+A :class:`~repro.core.mccatch.McCatchModel` bundles the fitted space,
+the flat array-backed index, and the result.  All three serialize to
+one ``np.savez`` archive: the index payload of
+:mod:`repro.io.indexes` (which already embeds the vector data and
+metric), plus the result as the same JSON document
+:func:`repro.io.results.save_result_json` writes — so a loaded model
+answers :meth:`~repro.core.mccatch.McCatchModel.score_batch`
+identically to the one that was saved.
+
+Vector spaces only: a custom object metric (strings, trees) is a
+Python callable and cannot be serialized; persist those fits as
+results (:mod:`repro.io.results`) and refit to serve.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.mccatch import McCatchModel
+from repro.io.indexes import INDEX_FORMAT, frozen_from_payload, index_payload
+from repro.io.results import result_from_dict, result_to_dict
+
+#: Schema tag written into every serialized model.
+MODEL_FORMAT = "repro.mccatch-model.v1"
+
+
+def save_model(model: McCatchModel, path: str | Path) -> Path:
+    """Persist a fitted model to a single ``.npz`` archive.
+
+    Requires a vector space (see module docstring) and a flat-backed
+    index — the ``"auto"`` Euclidean default builds scipy's cKDTree,
+    so fit with an explicit metric tree
+    (``McCatch(index="vptree")`` or any of vptree / balltree /
+    covertree / mtree / slimtree) to save the model.
+    """
+    if not model.space.is_vector:
+        raise TypeError(
+            "only vector-space models can be saved: a custom object metric "
+            "is a Python callable and cannot be serialized"
+        )
+    if model.index is None:
+        raise TypeError("model has no index to persist (scoring-only model)")
+    payload = index_payload(model.index, include_data=True)
+    payload["format"] = np.str_(MODEL_FORMAT)
+    payload["index_format"] = np.str_(INDEX_FORMAT)
+    payload["result_json"] = np.str_(json.dumps(result_to_dict(model.result)))
+    path = Path(path)
+    with open(path, "wb") as f:
+        np.savez(f, **payload)
+    return path
+
+
+def load_model(path: str | Path) -> McCatchModel:
+    """Load a model saved by :func:`save_model`."""
+    with np.load(Path(path), allow_pickle=False) as payload:
+        fmt = str(payload["format"][()]) if "format" in payload else None
+        if fmt != MODEL_FORMAT:
+            raise ValueError(f"unsupported model format: {fmt!r}")
+        index_arrays = {k: payload[k] for k in payload.files if k != "format"}
+        index_arrays["format"] = payload["index_format"]
+        index = frozen_from_payload(index_arrays)
+        result = result_from_dict(json.loads(str(payload["result_json"][()])))
+    return McCatchModel(index.space, index, result)

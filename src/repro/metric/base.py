@@ -131,6 +131,30 @@ class MetricSpace:
                 out[row, col] = self.metric(obj, self.data[j])
         return out
 
+    def paired_distances(
+        self, left: Sequence[int] | np.ndarray, right: Sequence[int] | np.ndarray
+    ) -> np.ndarray:
+        """Row-aligned distances between two equal-length id sequences.
+
+        ``out[k] = distance(left[k], right[k])`` — the primitive the
+        level-synchronous tree builds use to measure every element of a
+        tree level against its segment's vantage in one call.  Vector
+        spaces route through :meth:`VectorMetric.paired`, which is
+        bitwise consistent with the :meth:`distances` /
+        :meth:`distances_among` bulk path; object spaces pay the honest
+        per-pair metric cost.
+        """
+        li = np.asarray(left, dtype=np.intp)
+        ri = np.asarray(right, dtype=np.intp)
+        if li.size != ri.size:
+            raise ValueError(f"paired_distances needs equal lengths, got {li.size} and {ri.size}")
+        if self.is_vector:
+            return self._vm.paired(self.data[li], self.data[ri])
+        return np.array(
+            [self.metric(self.data[i], self.data[j]) for i, j in zip(li, ri)],
+            dtype=np.float64,
+        )
+
     def distances_among(
         self, left: Sequence[int] | np.ndarray, right: Sequence[int] | np.ndarray
     ) -> np.ndarray:

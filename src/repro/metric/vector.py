@@ -72,6 +72,36 @@ class VectorMetric:
             return diff.sum(axis=2)
         return np.sum(diff**self.p, axis=2) ** (1.0 / self.p)
 
+    def paired(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        """Row-aligned distances: ``out[i] = distance(A[i], B[i])``.
+
+        The level-synchronous tree builds need one distance per element
+        (each element to its segment's vantage), not a cross matrix.
+        Every entry is bitwise identical to the corresponding entry of
+        :meth:`bulk` — the Euclidean path uses the same einsum
+        sum-of-products accumulation order as the cross-term there, and
+        the other L_p paths reduce the same contiguous axis — so radii
+        and thresholds recorded at build time live in the same float
+        universe as the distances the walks compare them against
+        (``tests/test_metric_vector.py`` pins this property).
+        """
+        A = np.ascontiguousarray(A, dtype=np.float64)
+        B = np.ascontiguousarray(B, dtype=np.float64)
+        if np.isinf(self.p):
+            return np.abs(A - B).max(axis=1, initial=0.0)
+        if self.p == 2.0:
+            sq = (
+                np.einsum("ij,ij->i", A, A)
+                + np.einsum("ij,ij->i", B, B)
+                - 2.0 * np.einsum("ij,ij->i", A, B)
+            )
+            np.maximum(sq, 0.0, out=sq)
+            return np.sqrt(sq)
+        diff = np.abs(A - B)
+        if self.p == 1.0:
+            return diff.sum(axis=1)
+        return np.sum(diff**self.p, axis=1) ** (1.0 / self.p)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"VectorMetric({self.name})"
 

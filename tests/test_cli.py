@@ -135,3 +135,42 @@ class TestStream:
     def test_invalid_batch(self, csv_file):
         with pytest.raises(SystemExit, match="--batch"):
             main(["stream", str(csv_file), "--batch", "0"])
+
+
+class TestFitScore:
+    def test_fit_saves_model(self, csv_file, tmp_path, capsys):
+        model_path = tmp_path / "model.npz"
+        assert main(["fit", str(csv_file), "-o", str(model_path)]) == 0
+        out = capsys.readouterr().out
+        assert "model saved to" in out
+        assert model_path.exists()
+
+    def test_score_against_saved_model(self, csv_file, tmp_path, capsys):
+        model_path = tmp_path / "model.npz"
+        assert main(["fit", str(csv_file), "-o", str(model_path)]) == 0
+        capsys.readouterr()
+        held = tmp_path / "held.csv"
+        np.savetxt(held, np.vstack([np.zeros((5, 2)), [[99.0, 99.0]]]), delimiter=",")
+        assert main(["score", str(model_path), str(held), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "scored rows=6" in out
+        assert "flagged=1" in out  # the far [99, 99] row
+        assert "yes" in out
+
+    def test_scores_match_in_process_model(self, csv_file, blob_with_mc, tmp_path, capsys):
+        from repro import McCatch, McCatchModel
+
+        model_path = tmp_path / "model.npz"
+        assert main(["fit", str(csv_file), "-o", str(model_path)]) == 0
+        X, _ = blob_with_mc
+        direct = McCatch(index="vptree").fit_model(X)
+        loaded = McCatchModel.load(model_path)
+        held = np.vstack([X[:10], [[50.0, -50.0]]])
+        assert np.array_equal(
+            loaded.score_batch(held).scores, direct.score_batch(held).scores
+        )
+
+    def test_fit_rejects_non_flat_index(self, csv_file, tmp_path):
+        with pytest.raises(SystemExit, match="FlatTree"):
+            main(["fit", str(csv_file), "--index", "ckdtree",
+                  "-o", str(tmp_path / "m.npz")])

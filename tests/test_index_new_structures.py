@@ -120,42 +120,38 @@ class TestCoverTree:
 class TestBallTree:
     def test_ball_invariant(self, blobs):
         """Members of every node lie within the node's radius of its pivot."""
-        tree = BallTree(blobs, leaf_size=4)
-
-        def collect(node):
-            if node.bucket is not None:
-                return list(node.bucket)
-            return collect(node.left) + collect(node.right)
-
-        stack = [tree.root]
-        while stack:
-            node = stack.pop()
-            members = collect(node)
-            d = blobs.distances(node.pivot, np.array(members))
-            assert d.max() <= node.radius + 1e-9
-            if node.bucket is None:
-                stack.append(node.left)
-                stack.append(node.right)
+        flat = BallTree(blobs, leaf_size=4).flat
+        for i in range(flat.n_nodes):
+            members = flat.elems[flat.elem_lo[i] : flat.elem_hi[i]]
+            d = blobs.distances(int(flat.center[i]), members)
+            assert d.max() <= flat.radius[i] + 1e-9
 
     def test_split_is_binary_partition(self, blobs):
-        tree = BallTree(blobs, leaf_size=4)
-        stack = [tree.root]
-        while stack:
-            node = stack.pop()
-            if node.bucket is None:
-                assert node.left.size + node.right.size == node.size
-                stack.append(node.left)
-                stack.append(node.right)
+        """Children partition their parent's member slice, sizes included."""
+        flat = BallTree(blobs, leaf_size=4).flat
+        for i in range(flat.n_nodes):
+            if flat.is_leaf(i):
+                continue
+            left, right = int(flat.child_lo[i]), int(flat.child_lo[i]) + 1
+            assert int(flat.child_hi[i]) - int(flat.child_lo[i]) == 2
+            assert flat.size[left] + flat.size[right] == flat.size[i]
+            assert flat.elem_lo[left] == flat.elem_lo[i]
+            assert flat.elem_hi[left] == flat.elem_lo[right]
+            assert flat.elem_hi[right] == flat.elem_hi[i]
 
     def test_leaf_sizes_respect_cap_or_ties(self, blobs):
         tree = BallTree(blobs, leaf_size=8)
         assert all(s >= 1 for s in tree.leaf_sizes())
         assert sum(tree.leaf_sizes()) == len(blobs)
 
+    def test_permutation_covers_all_elements(self, blobs):
+        flat = BallTree(blobs, leaf_size=4).flat
+        assert sorted(flat.elems.tolist()) == list(range(len(blobs)))
+
     def test_duplicates_fall_back_to_leaf(self):
         space = MetricSpace(np.ones((30, 2)))
         tree = BallTree(space, leaf_size=2)
-        assert tree.root.bucket is not None
+        assert tree.flat.n_nodes == 1 and tree.flat.is_leaf(0)  # radius 0 short-circuits
         assert tree.count_within([0], 0.0)[0] == 30
 
     def test_invalid_leaf_size(self, blobs):

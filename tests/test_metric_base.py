@@ -107,3 +107,24 @@ def test_pairwise_distances_helper():
     assert dm.shape == (3, 3)
     assert dm[0, 1] == 1.0
     assert dm[0, 2] == 2.0
+
+
+class TestPairedDistances:
+    def test_vector_matches_distances_bitwise(self):
+        rng = np.random.default_rng(2)
+        space = MetricSpace(rng.normal(size=(20, 3)))
+        left = rng.integers(0, 20, size=15)
+        right = rng.integers(0, 20, size=15)
+        paired = space.paired_distances(left, right)
+        for k in range(15):
+            assert paired[k] == space.distance(int(left[k]), int(right[k]))
+
+    def test_object_space(self):
+        space = MetricSpace(["AB", "AC", "BX", "AB"], levenshtein)
+        out = space.paired_distances([0, 1, 0], [3, 2, 2])
+        assert out.tolist() == [0.0, 2.0, 2.0]
+
+    def test_length_mismatch_rejected(self):
+        space = MetricSpace(np.zeros((4, 2)))
+        with pytest.raises(ValueError, match="equal lengths"):
+            space.paired_distances([0, 1], [2])

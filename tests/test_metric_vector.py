@@ -73,6 +73,34 @@ class TestBulkForm:
         assert (d >= 0).all()
 
 
+class TestPairedForm:
+    """The level-synchronous tree builds lean on ``paired`` being in the
+    same float universe as ``bulk`` — a last-ulp drift between the two
+    would flip counts at exact boundary radii (the PR 1 regression
+    class), so these are exact-equality pins, not approx checks."""
+
+    @pytest.mark.parametrize("metric", [euclidean, cityblock, chebyshev, minkowski(3)])
+    def test_paired_bitwise_matches_bulk_diagonal(self, metric, rng):
+        for d in (1, 2, 7, 40, 200):
+            A = np.ascontiguousarray(rng.normal(size=(30, d)) * 10.0)
+            B = np.ascontiguousarray(rng.normal(size=(30, d)))
+            B[::3] = A[::3]  # identical rows must come out exactly 0
+            diag = metric.bulk(A, B)[np.arange(30), np.arange(30)]
+            assert np.array_equal(metric.paired(A, B), diag)
+
+    @pytest.mark.parametrize("metric", [euclidean, cityblock, chebyshev, minkowski(3)])
+    def test_paired_bitwise_matches_single_row_bulk(self, metric, rng):
+        A = rng.normal(size=(12, 5))
+        B = rng.normal(size=(12, 5))
+        paired = metric.paired(A, B)
+        for i in range(12):
+            assert paired[i] == metric.bulk(A[i : i + 1], B[i : i + 1])[0, 0]
+
+    def test_paired_identical_rows_exact_zero(self):
+        A = np.random.default_rng(0).normal(size=(9, 4)) * 1e6
+        assert (euclidean.paired(A, A.copy()) == 0.0).all()
+
+
 class TestResolver:
     @pytest.mark.parametrize(
         "name,expected_p", [("euclidean", 2.0), ("manhattan", 1.0), ("linf", np.inf)]
