@@ -1,0 +1,128 @@
+"""Model-serving bench: cold-load (mmap vs materialized) + score latency.
+
+The serving story is fit once, publish to a :class:`repro.api.ModelRegistry`,
+and have many scorer processes resolve the artifact.  Two costs decide
+whether that scales:
+
+- **cold load** — how long a fresh scorer takes to stand the model up.
+  Materialized loads copy every array out of the archive; mmap loads
+  only parse headers and map pages, so they should be near-constant in
+  n and share physical memory across processes.
+- **score_batch latency** — the per-request cost once the model is up
+  (measured both ways to confirm mmap costs nothing at query time).
+
+Results land in ``benchmarks/results/BENCH_serving.json`` (plus a text
+table).
+
+Run:  python benchmarks/bench_model_serving.py [--n N ...] [--repeats K]
+(the CI smoke step runs one tiny configuration; REPRO_BENCH_SCALE
+multiplies the default sizes as usual).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from _common import RESULTS_DIR, format_table, scaled, write_result
+from repro.api import ModelRegistry, make_estimator
+
+BOOST = scaled(1.0, lo=0.02, hi=20.0)
+
+DEFAULT_SIZES = [int(2_000 * BOOST), int(10_000 * BOOST)]
+SPEC = "mccatch?index=vptree"
+BATCH_ROWS = 256
+
+
+def _dataset(n: int) -> np.ndarray:
+    rng = np.random.default_rng(0)
+    return np.vstack([rng.normal(size=(n, 4)), [[9.0] * 4, [9.1] + [9.0] * 3]])
+
+
+def _best(f, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        f()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def run(sizes: list[int], repeats: int, registry_root) -> dict:
+    registry = ModelRegistry(registry_root)
+    rng = np.random.default_rng(1)
+    records = []
+    for n in sizes:
+        X = _dataset(n)
+        batch = rng.normal(size=(BATCH_ROWS, 4))
+        t0 = time.perf_counter()
+        model = make_estimator(SPEC).fit(X)
+        fit_s = time.perf_counter() - t0
+        record = registry.publish(model)
+
+        def load(mmap: bool):
+            return registry.resolve(SPEC, fingerprint=record.fingerprint, mmap=mmap)
+
+        # cold load: stand the model up (mmap parses headers only)
+        load_cold_s = _best(lambda: load(False), repeats)
+        load_mmap_s = _best(lambda: load(True), repeats)
+        # score latency once warm, both ways
+        warm, warm_mmap = load(False), load(True)
+        score_s = _best(lambda: warm.score_batch(batch), repeats)
+        score_mmap_s = _best(lambda: warm_mmap.score_batch(batch), repeats)
+        assert np.array_equal(warm.score_batch(batch), warm_mmap.score_batch(batch))
+        records.append({
+            "n": int(X.shape[0]),
+            "spec": SPEC,
+            "fit_s": round(fit_s, 6),
+            "artifact_bytes": record.path.stat().st_size,
+            "load_materialized_s": round(load_cold_s, 6),
+            "load_mmap_s": round(load_mmap_s, 6),
+            "load_speedup": round(load_cold_s / load_mmap_s, 2),
+            "batch_rows": BATCH_ROWS,
+            "score_batch_materialized_s": round(score_s, 6),
+            "score_batch_mmap_s": round(score_mmap_s, 6),
+        })
+    return {"spec": SPEC, "repeats": repeats, "records": records}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, nargs="*", default=None,
+                        help=f"dataset sizes (default {DEFAULT_SIZES})")
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args()
+    sizes = args.n if args.n else DEFAULT_SIZES
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-registry-") as root:
+        payload = run(sizes, args.repeats, root)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_serving.json").write_text(json.dumps(payload, indent=2) + "\n")
+
+    rows = [
+        [r["n"], f"{r['artifact_bytes'] / 1024:.0f} KiB",
+         f"{r['load_materialized_s'] * 1e3:.2f}", f"{r['load_mmap_s'] * 1e3:.2f}",
+         f"{r['load_speedup']:.1f}x",
+         f"{r['score_batch_materialized_s'] * 1e3:.2f}",
+         f"{r['score_batch_mmap_s'] * 1e3:.2f}"]
+        for r in payload["records"]
+    ]
+    write_result(
+        "model_serving",
+        format_table(
+            ["n", "artifact", "load (ms)", "load mmap (ms)", "speedup",
+             "score 256 (ms)", "score 256 mmap (ms)"],
+            rows,
+            title=f"Model serving: {SPEC} — cold load and batch-score latency",
+        ),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -23,7 +23,27 @@ from repro.core.streaming import StreamingMcCatch, StreamingUpdate
 from repro.engine import BatchQueryEngine
 from repro.metric.base import MetricSpace
 
-__version__ = "1.2.0"
+# The serving API sits above core/baselines; import it after the core
+# chain so the metric -> core -> engine import cycle is entered the
+# same way it always was.  (`load_model` is served lazily below — it
+# lives in repro.api.estimators, which imports every baseline module.)
+from repro.api import (  # noqa: E402  (deliberate ordering, see above)
+    Estimator,
+    FittedModel,
+    ModelRegistry,
+    make_estimator,
+    spec_of,
+)
+
+
+def __getattr__(name):
+    if name == "load_model":
+        from repro.api import load_model
+
+        return load_model
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__version__ = "1.3.0"
 
 __all__ = [
     "McCatch",
@@ -38,5 +58,11 @@ __all__ = [
     "StreamingMcCatch",
     "StreamingUpdate",
     "MetricSpace",
+    "Estimator",
+    "FittedModel",
+    "ModelRegistry",
+    "load_model",
+    "make_estimator",
+    "spec_of",
     "__version__",
 ]

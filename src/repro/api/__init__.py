@@ -1,0 +1,90 @@
+"""The unified serving API: fit once with any detector, score anything.
+
+Three pieces close the loop the paper's pitch implies:
+
+- **Spec strings** (:func:`make_estimator`, :func:`spec_of`) — one
+  URL-style string names a detector and its configuration
+  (``"mccatch?a=15&engine=batched"``, ``"lof?k=20"``,
+  ``"iforest?seed=3"``); the registry covers McCatch and every
+  baseline in :func:`repro.baselines.all_detectors`.
+- **The Estimator → FittedModel contract** (:class:`Estimator`,
+  :class:`FittedModel`) — ``fit(data, metric=None)`` returns a model
+  that scores held-out batches, exposes its training scores, and
+  persists to one ``.npz`` (loaded back by :func:`load_model`,
+  memory-mapped on request).
+- **The model registry** (:class:`ModelRegistry`) — a versioned
+  on-disk directory of artifacts keyed by ``(spec, dataset
+  fingerprint)``, with ``publish`` / ``resolve`` / ``list`` and
+  mmap-shared loads for many-process serving.
+
+>>> from repro.api import ModelRegistry, make_estimator  # doctest: +SKIP
+>>> model = make_estimator("mccatch?index=vptree").fit(X)  # doctest: +SKIP
+>>> registry = ModelRegistry("models/")                    # doctest: +SKIP
+>>> registry.publish(model)                                # doctest: +SKIP
+>>> served = registry.resolve("mccatch?index=vptree", mmap=True)  # doctest: +SKIP
+>>> served.score_batch(batch)                              # doctest: +SKIP
+"""
+
+from repro.api.base import Estimator, FittedModel
+from repro.api.model_registry import (
+    REGISTRY_FORMAT,
+    ModelRecord,
+    ModelRegistry,
+    dataset_fingerprint,
+)
+from repro.api.registry import (
+    Param,
+    format_spec,
+    make_estimator,
+    parse_spec,
+    registered_names,
+    spec_of,
+)
+
+#: Names served lazily from :mod:`repro.api.estimators`, which imports
+#: every baseline module.  Deferring it keeps ``import repro`` (and any
+#: non-serving use) from paying for the whole detector inventory; the
+#: registry populates itself on the first ``make_estimator`` call.
+_ESTIMATOR_EXPORTS = frozenset({
+    "API_MODEL_FORMAT",
+    "BaselineEstimator",
+    "DBOutModel",
+    "KNNOutModel",
+    "LOFModel",
+    "McCatchEstimator",
+    "McCatchServingModel",
+    "TransductiveModel",
+    "load_model",
+})
+
+
+def __getattr__(name):
+    if name in _ESTIMATOR_EXPORTS:
+        from repro.api import estimators
+
+        return getattr(estimators, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "API_MODEL_FORMAT",
+    "REGISTRY_FORMAT",
+    "BaselineEstimator",
+    "DBOutModel",
+    "Estimator",
+    "FittedModel",
+    "KNNOutModel",
+    "LOFModel",
+    "McCatchEstimator",
+    "McCatchServingModel",
+    "ModelRecord",
+    "ModelRegistry",
+    "Param",
+    "TransductiveModel",
+    "dataset_fingerprint",
+    "format_spec",
+    "load_model",
+    "make_estimator",
+    "parse_spec",
+    "registered_names",
+    "spec_of",
+]

@@ -1,0 +1,118 @@
+"""The unified serving contract: ``Estimator`` → ``FittedModel``.
+
+Every detector in the library — McCatch and all the Table I baselines —
+is servable through two small interfaces:
+
+- :class:`Estimator` is the *fit-once* half: configuration only, no
+  state.  ``fit(data, metric=None)`` runs the algorithm and hands back
+  a :class:`FittedModel`.  Estimators are constructed from URL-style
+  spec strings (``"mccatch?a=15&engine=batched"``, ``"lof?k=20"``) via
+  :func:`repro.api.make_estimator`, and :attr:`Estimator.spec` renders
+  the canonical spec back, so a spec string is a complete, portable
+  description of a configuration.
+- :class:`FittedModel` is the *score-anything* half: it holds the
+  fitted state, scores held-out batches (``score_batch``), exposes the
+  training scores the fit produced (``training_scores``), and persists
+  to a single ``.npz`` (``save`` / :func:`repro.api.load_model`) so a
+  :class:`~repro.api.model_registry.ModelRegistry` can version and
+  serve it.
+
+Detectors whose algorithm permits a real fit/score split (kNN-Out,
+LOF, DB-Out score held-out points against the fitted index; McCatch
+against its fitted inliers) get inductive models; the rest are wrapped
+in :class:`~repro.api.estimators.TransductiveModel`, which documents —
+rather than hides — that scoring a batch re-runs the detector on
+fitted data plus batch.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from pathlib import Path
+
+import numpy as np
+
+
+class Estimator(ABC):
+    """Configured, unfitted detector: the fit-once half of the contract."""
+
+    @property
+    @abstractmethod
+    def spec(self) -> str:
+        """Canonical spec string reconstructing this configuration.
+
+        Round-trips through the registry:
+        ``make_estimator(est.spec).spec == est.spec``.
+        """
+
+    @abstractmethod
+    def fit(self, data, metric=None) -> "FittedModel":
+        """Run the detector on ``data`` and return the fitted model.
+
+        ``data`` is a 2-d float array (vector data) or, for detectors
+        that support nondimensional data (McCatch), any sequence of
+        objects together with ``metric``.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.spec!r})"
+
+
+class FittedModel(ABC):
+    """Fitted state ready to serve: the score-anything half."""
+
+    @property
+    @abstractmethod
+    def spec(self) -> str | None:
+        """Spec of the estimator that produced this model.
+
+        ``None`` only for artifacts saved outside the unified API
+        (their configuration is not recoverable); such models score
+        fine but cannot be published to a registry.
+        """
+
+    @property
+    @abstractmethod
+    def training_scores(self) -> np.ndarray:
+        """Per-point anomaly scores of the fitted data (higher = more
+        anomalous) — what ``fit_scores`` historically returned."""
+
+    @property
+    def n_fitted(self) -> int:
+        """Number of elements the model was fitted on."""
+        return int(len(self.training_scores))
+
+    @abstractmethod
+    def score_batch(self, batch) -> np.ndarray:
+        """Anomaly score per element of a held-out ``batch``.
+
+        Deterministic — the same batch scores bit-identically before
+        and after a ``save``/``load`` round trip (mmap-loaded included)
+        — except for a :class:`~repro.api.estimators.TransductiveModel`
+        of a *randomized* detector without a fixed ``seed=``, whose
+        re-run draws fresh entropy each call; pin the seed in the spec
+        for reproducible transductive serving.
+        """
+
+    @abstractmethod
+    def save(self, path) -> Path:
+        """Persist the model to a single ``.npz`` archive."""
+
+    @property
+    def training_data(self):
+        """The fitted data, when the model retains it (else ``None``).
+
+        The registry derives the dataset fingerprint from this, so
+        ``ModelRegistry.publish(model)`` needs no extra arguments.
+        """
+        return None
+
+    @staticmethod
+    def load(path, *, mmap: bool = False) -> "FittedModel":
+        """Load any model saved by a :class:`FittedModel` (format-dispatching)."""
+        from repro.api.estimators import load_model
+
+        return load_model(path, mmap=mmap)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.spec!r}, n_fitted={self.n_fitted})"

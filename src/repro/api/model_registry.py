@@ -1,0 +1,314 @@
+"""ModelRegistry: a versioned on-disk directory of fitted-model artifacts.
+
+The fit-once-serve-many deployment story needs a place where fitters
+*publish* models and scorers *resolve* them.  A registry is one
+directory tree, keyed by ``(spec, dataset fingerprint)`` — the spec
+says *how* the model was fitted, the fingerprint says *on what* — with
+a monotonically growing version per key:
+
+    <root>/
+      <detector>/                        e.g. mccatch/
+        <spec_digest>-<fingerprint>/     one key
+          v0001/
+            model.npz                    the FittedModel archive
+            meta.json                    spec, fingerprint, version, created
+          v0002/
+            ...
+
+``meta.json`` carries the full spec string (directories only carry
+digests, so specs of any length work), which makes the layout
+self-describing: ``list()`` is a filesystem walk, no central manifest
+to corrupt.  Model archives are uncompressed ``.npz``, so
+``resolve(..., mmap=True)`` serves the index arrays straight off the
+page cache — many scoring processes, one physical copy of the index.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.api.base import FittedModel
+from repro.api.registry import make_estimator, parse_spec
+
+#: Schema tag written into every meta.json.
+REGISTRY_FORMAT = "repro.model-registry.v1"
+
+_VERSION_DIR = re.compile(r"^v(\d{4,})$")
+
+
+def dataset_fingerprint(data) -> str:
+    """Content hash identifying a dataset (16 hex chars of SHA-256).
+
+    Vector data hashes shape + raw float64 bytes; object data (strings,
+    trees) hashes each element's ``str()`` form.  Two datasets share a
+    fingerprint iff they are element-for-element identical, which is
+    exactly the key a registry of fitted models needs.
+    """
+    from repro.metric.base import MetricSpace
+
+    if isinstance(data, MetricSpace):
+        data = data.data
+    digest = hashlib.sha256()
+    if isinstance(data, np.ndarray) and np.issubdtype(data.dtype, np.number):
+        arr = np.ascontiguousarray(np.asarray(data, dtype=np.float64))
+        digest.update(str(arr.shape).encode())
+        digest.update(arr.tobytes())
+    else:
+        items = list(data)
+        digest.update(f"objects:{len(items)}".encode())
+        for item in items:
+            encoded = str(item).encode()
+            digest.update(str(len(encoded)).encode())
+            digest.update(encoded)
+    return digest.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class ModelRecord:
+    """One published artifact: where it lives and what it is."""
+
+    spec: str
+    fingerprint: str
+    version: int
+    path: Path  # the model.npz
+
+    @property
+    def meta_path(self) -> Path:
+        return self.path.parent / "meta.json"
+
+
+class ModelRegistry:
+    """Publish, resolve, and list fitted models under one root directory.
+
+    Parameters
+    ----------
+    root:
+        Registry directory; created on first :meth:`publish`.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    # -- key layout ---------------------------------------------------------
+
+    @staticmethod
+    def _canonical(spec: str) -> str:
+        """Specs are compared in canonical registry form."""
+        return make_estimator(spec).spec
+
+    def _key_dir(self, spec: str, fingerprint: str) -> Path:
+        if not re.fullmatch(r"[0-9a-f]{8,64}", fingerprint or ""):
+            # fingerprints are path components: anything but lowercase
+            # hex could escape the key layout ("../x")
+            raise ValueError(
+                f"invalid dataset fingerprint {fingerprint!r}: expected "
+                "8-64 lowercase hex characters (see dataset_fingerprint)"
+            )
+        name, _ = parse_spec(spec)
+        digest = hashlib.sha256(spec.encode()).hexdigest()[:12]
+        return self.root / name / f"{digest}-{fingerprint}"
+
+    # -- write side ---------------------------------------------------------
+
+    def publish(
+        self, model: FittedModel, data=None, *, fingerprint: str | None = None
+    ) -> ModelRecord:
+        """Save ``model`` as the next version of its ``(spec, fingerprint)`` key.
+
+        The fingerprint comes from ``fingerprint``, from ``data``, or —
+        the common case — from the model's own retained training data,
+        so ``publish(model)`` needs no extra arguments.
+        """
+        if model.spec is None:
+            raise ValueError(
+                "cannot publish a model without a spec (it was fitted and "
+                "saved outside the unified API, so its configuration is not "
+                "recoverable); refit via make_estimator(...)"
+            )
+        if fingerprint is None:
+            source = data if data is not None else model.training_data
+            if source is None:
+                raise ValueError(
+                    "cannot fingerprint this model: it retains no training "
+                    "data; pass data=... or fingerprint=..."
+                )
+            fingerprint = dataset_fingerprint(source)
+        spec = self._canonical(model.spec)
+        key_dir = self._key_dir(spec, fingerprint)
+        version, version_dir = self._claim_next_version(key_dir)
+        # Write-then-rename: the version directory is visible the moment
+        # it is claimed, and `_versions` treats a present model.npz as
+        # resolvable — a half-streamed archive must never carry that name.
+        tmp_path = version_dir / "model.npz.tmp"
+        path = version_dir / "model.npz"
+        try:
+            model.save(tmp_path)
+            os.replace(tmp_path, path)
+        except BaseException:
+            # release the claimed version: a failed save must not leave
+            # a stray directory burning a version number per attempt
+            tmp_path.unlink(missing_ok=True)
+            try:
+                version_dir.rmdir()
+            except OSError:  # pragma: no cover - racing publisher moved in
+                pass
+            raise
+        meta = {
+            "format": REGISTRY_FORMAT,
+            "spec": spec,
+            "fingerprint": fingerprint,
+            "version": version,
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        }
+        # meta.json last and atomically: it is the completeness marker
+        # every read path keys on
+        meta_tmp = version_dir / "meta.json.tmp"
+        meta_tmp.write_text(json.dumps(meta, indent=2) + "\n")
+        os.replace(meta_tmp, version_dir / "meta.json")
+        return ModelRecord(spec, fingerprint, version, path)
+
+    # -- read side ----------------------------------------------------------
+
+    def record(
+        self,
+        spec: str,
+        *,
+        fingerprint: str | None = None,
+        data=None,
+        version: int | None = None,
+    ) -> ModelRecord:
+        """Locate one artifact without loading it.
+
+        ``fingerprint`` (or ``data`` to fingerprint) selects the key;
+        when omitted and exactly one fingerprint exists for the spec,
+        that one is used.  ``version`` defaults to the latest.
+        """
+        spec = self._canonical(spec)
+        if fingerprint is None and data is not None:
+            fingerprint = dataset_fingerprint(data)
+        if fingerprint is None:
+            candidates = sorted(
+                {r.fingerprint for r in self.list() if r.spec == spec}
+            )
+            if not candidates:
+                raise LookupError(f"no published models for spec {spec!r} in {self.root}")
+            if len(candidates) > 1:
+                raise LookupError(
+                    f"spec {spec!r} has models for {len(candidates)} datasets "
+                    f"({candidates}); pass fingerprint=... or data=..."
+                )
+            fingerprint = candidates[0]
+        key_dir = self._key_dir(spec, fingerprint)
+        versions = self._versions(key_dir)
+        if not versions:
+            raise LookupError(
+                f"no published model for spec {spec!r} and fingerprint "
+                f"{fingerprint!r} in {self.root}"
+            )
+        if version is None:
+            version = max(versions)
+        elif version not in versions:
+            raise LookupError(
+                f"version {version} not published for spec {spec!r} "
+                f"(available: {sorted(versions)})"
+            )
+        return ModelRecord(
+            spec, fingerprint, version, key_dir / f"v{version:04d}" / "model.npz"
+        )
+
+    def resolve(
+        self,
+        spec: str,
+        *,
+        fingerprint: str | None = None,
+        data=None,
+        version: int | None = None,
+        mmap: bool = False,
+    ) -> FittedModel:
+        """Load the artifact :meth:`record` locates.
+
+        ``mmap=True`` maps the archive read-only so concurrent scorers
+        share one on-disk copy (uncompressed archives only).
+        """
+        return FittedModel.load(
+            self.record(spec, fingerprint=fingerprint, data=data, version=version).path,
+            mmap=mmap,
+        )
+
+    def list(self, *, spec: str | None = None) -> list[ModelRecord]:
+        """All published artifacts, optionally filtered to one spec."""
+        wanted = self._canonical(spec) if spec is not None else None
+        records = []
+        for meta_path in sorted(self.root.glob("*/*/v*/meta.json")):
+            try:
+                meta = json.loads(meta_path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue  # half-written artifact: skip, never crash a listing
+            if meta.get("format") != REGISTRY_FORMAT:
+                continue
+            record = ModelRecord(
+                meta["spec"],
+                meta["fingerprint"],
+                int(meta["version"]),
+                meta_path.parent / "model.npz",
+            )
+            if wanted is None or record.spec == wanted:
+                records.append(record)
+        return sorted(records, key=lambda r: (r.spec, r.fingerprint, r.version))
+
+    # -- internals ----------------------------------------------------------
+
+    @staticmethod
+    def _claim_next_version(key_dir: Path) -> tuple[int, Path]:
+        """Atomically claim the next free version directory.
+
+        ``mkdir`` is the lock: concurrent publishers both compute the
+        same next version, one wins the directory, the loser retries
+        one higher.  The scan counts every ``vNNNN`` directory — not
+        just completed ones — so a crashed publisher's empty directory
+        is skipped over instead of being fought over forever.
+        """
+        while True:
+            taken = []
+            if key_dir.is_dir():
+                for child in key_dir.iterdir():
+                    match = _VERSION_DIR.match(child.name)
+                    if match:
+                        taken.append(int(match.group(1)))
+            version = (max(taken) if taken else 0) + 1
+            version_dir = key_dir / f"v{version:04d}"
+            try:
+                version_dir.mkdir(parents=True)
+            except FileExistsError:
+                continue  # another publisher claimed it first
+            return version, version_dir
+
+    @staticmethod
+    def _versions(key_dir: Path) -> list[int]:
+        """Completed versions only: meta.json (written last, atomically)
+        is the completeness marker, so every read path — versioned
+        resolution here, discovery via :meth:`list` — agrees on what
+        exists."""
+        if not key_dir.is_dir():
+            return []
+        found = []
+        for child in key_dir.iterdir():
+            match = _VERSION_DIR.match(child.name)
+            if (
+                match
+                and (child / "meta.json").is_file()
+                and (child / "model.npz").is_file()
+            ):
+                found.append(int(match.group(1)))
+        return found
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ModelRegistry({str(self.root)!r})"

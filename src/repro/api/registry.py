@@ -1,0 +1,282 @@
+"""Spec-string detector registry: ``"name?key=value&..."`` → Estimator.
+
+The spec grammar is URL-ish and tiny:
+
+    spec   := name [ "?" param ( "&" param )* ]
+    param  := key "=" value
+
+``name`` identifies a registered detector (case/punctuation
+insensitive: ``"kNN-Out"``, ``"knn-out"`` and ``"knnout"`` all resolve
+the same entry); keys are the detector's declared parameters, values
+are parsed by the declared type (int / float / bool / str).  Unknown
+names and unknown keys raise with the full list of valid options, so a
+typo in a config file fails loudly at construction, not at fit time.
+
+:func:`make_estimator` is the one front door; :func:`spec_of` goes the
+other way, rendering a canonical spec from a live detector instance
+(used by the Table II grids to emit specs).  Canonical form sorts the
+keys, so any spec round-trips: ``make_estimator(s).spec`` is stable
+under another ``make_estimator``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+__all__ = [
+    "Param",
+    "make_estimator",
+    "parse_spec",
+    "format_spec",
+    "registered_names",
+    "register_detector",
+    "spec_of",
+]
+
+
+def _parse_bool(text: str) -> bool:
+    lowered = text.strip().lower()
+    if lowered in ("true", "1", "yes", "on"):
+        return True
+    if lowered in ("false", "0", "no", "off"):
+        return False
+    raise ValueError(f"expected a boolean (true/false), got {text!r}")
+
+
+class IntTuple:
+    """Param-type marker: a comma-separated int list (``"64,32,16"``)."""
+
+
+def _parse_int_tuple(text: str) -> tuple[int, ...]:
+    parts = [p.strip() for p in text.split(",") if p.strip()]
+    if not parts:
+        raise ValueError("expected a comma-separated int list, got nothing")
+    return tuple(int(p) for p in parts)
+
+
+_COERCERS: dict[type, Callable[[str], object]] = {
+    int: int,
+    float: float,
+    bool: _parse_bool,
+    str: str,
+    IntTuple: _parse_int_tuple,
+}
+
+
+@dataclass(frozen=True)
+class Param:
+    """One declared spec parameter of a registered detector.
+
+    Attributes
+    ----------
+    type:
+        Value type; the matching parser turns the spec's string into it.
+    default:
+        Default value (what the constructor uses when the key is
+        absent); ``spec_of`` omits parameters still at their default.
+    attr:
+        Attribute name on the detector instance holding the current
+        value (for :func:`spec_of`); defaults to the spec key.
+    kw:
+        Constructor keyword name; defaults to ``attr``.
+    """
+
+    type: type
+    default: object = None
+    attr: str | None = None
+    kw: str | None = None
+
+    def resolve_attr(self, key: str) -> str:
+        return self.attr if self.attr is not None else key
+
+    def resolve_kw(self, key: str) -> str:
+        return self.kw if self.kw is not None else self.resolve_attr(key)
+
+    def coerce(self, key: str, raw: str):
+        try:
+            return _COERCERS[self.type](raw)
+        except ValueError as exc:
+            kind = "int list" if self.type is IntTuple else self.type.__name__
+            raise ValueError(
+                f"bad value for parameter {key!r}: {raw!r} is not a valid {kind}"
+            ) from exc
+
+
+@dataclass(frozen=True)
+class DetectorEntry:
+    """One registered detector: its factory and declared parameters."""
+
+    name: str
+    build: Callable[[str, dict], object]  # (canonical_spec, params) -> Estimator
+    params: Mapping[str, Param]
+    detector_cls: type | None = None
+    aliases: tuple[str, ...] = ()
+    description: str = ""
+    grid_name: str | None = field(default=None)  # Table II grid key, if any
+
+
+_REGISTRY: dict[str, DetectorEntry] = {}
+_ALIAS: dict[str, str] = {}  # canonicalized alias -> registry name
+_BY_CLASS: dict[type, str] = {}
+_populated = False
+
+
+def _canon(name: str) -> str:
+    """Case/punctuation-insensitive detector-name key."""
+    return re.sub(r"[^a-z0-9]", "", name.lower())
+
+
+def register_detector(entry: DetectorEntry) -> None:
+    """Add (or replace) a detector entry in the registry."""
+    _REGISTRY[entry.name] = entry
+    _ALIAS[_canon(entry.name)] = entry.name
+    for alias in entry.aliases:
+        _ALIAS[_canon(alias)] = entry.name
+    if entry.detector_cls is not None:
+        _BY_CLASS[entry.detector_cls] = entry.name
+
+
+def _ensure_populated() -> None:
+    """Import the standard registrations (lazy, avoids cycles).
+
+    The flag flips only after the import succeeds: if registration
+    raises (say a baseline module cannot import in a stripped-down
+    environment), later calls retry and surface the real ImportError
+    instead of reporting an empty registry forever.
+    """
+    global _populated
+    if not _populated:
+        import repro.api.estimators  # noqa: F401  (registers on import)
+
+        _populated = True
+
+
+def registered_names() -> list[str]:
+    """Names accepted by :func:`make_estimator`, sorted."""
+    _ensure_populated()
+    return sorted(_REGISTRY)
+
+
+def parse_spec(spec: str) -> tuple[str, dict[str, str]]:
+    """Split a spec string into ``(name, raw-params)`` without validation."""
+    if not isinstance(spec, str):
+        raise TypeError(f"spec must be a string, got {type(spec).__name__}")
+    text = spec.strip()
+    name, _, query = text.partition("?")
+    name = name.strip()
+    if not name:
+        raise ValueError(f"spec {spec!r} has no detector name")
+    raw: dict[str, str] = {}
+    if query:
+        for part in query.split("&"):
+            if not part:
+                continue
+            key, eq, value = part.partition("=")
+            key = key.strip()
+            if not eq or not key:
+                raise ValueError(
+                    f"malformed spec parameter {part!r} in {spec!r}: expected key=value"
+                )
+            if key in raw:
+                raise ValueError(f"duplicate spec parameter {key!r} in {spec!r}")
+            raw[key] = value.strip()
+    return name, raw
+
+
+def _format_value(value) -> str:
+    # Normalize through the builtin types: numpy scalars are common here
+    # (sweeps via np.linspace, values read back from .npz) and their
+    # reprs ("np.float64(0.25)") would poison specs and registry keys.
+    if isinstance(value, (bool, np.bool_)):
+        return "true" if bool(value) else "false"
+    if isinstance(value, (float, np.floating)):
+        return repr(float(value))  # repr round-trips float64 exactly
+    if isinstance(value, (int, np.integer)):
+        return str(int(value))
+    if isinstance(value, (tuple, list)):
+        return ",".join(str(int(v)) for v in value)
+    return str(value)
+
+
+def format_spec(name: str, params: Mapping[str, object]) -> str:
+    """Render the canonical spec string: sorted keys, typed values."""
+    if not params:
+        return name
+    query = "&".join(f"{k}={_format_value(v)}" for k, v in sorted(params.items()))
+    return f"{name}?{query}"
+
+
+def _lookup(name: str) -> DetectorEntry:
+    _ensure_populated()
+    key = _ALIAS.get(_canon(name))
+    if key is None:
+        raise ValueError(
+            f"unknown detector {name!r}; registered detectors: {registered_names()}"
+        )
+    return _REGISTRY[key]
+
+
+def make_estimator(spec):
+    """Construct the :class:`~repro.api.base.Estimator` a spec describes.
+
+    ``spec`` may also already be an Estimator (returned unchanged), so
+    call sites can accept either form.
+
+    >>> from repro.api import make_estimator
+    >>> make_estimator("lof?k=20").spec
+    'lof?k=20'
+    """
+    from repro.api.base import Estimator
+
+    if isinstance(spec, Estimator):
+        return spec
+    name, raw = parse_spec(spec)
+    entry = _lookup(name)
+    params: dict[str, object] = {}
+    for key, value in raw.items():
+        if key not in entry.params:
+            raise ValueError(
+                f"unknown parameter {key!r} for detector {entry.name!r}; "
+                f"valid parameters: {sorted(entry.params)}"
+            )
+        params[key] = entry.params[key].coerce(key, value)
+    # Canonical form drops explicitly-spelled defaults, so equivalent
+    # configurations ("lof?k=5" and "lof") render — and therefore key a
+    # ModelRegistry — identically, matching what spec_of() emits.  The
+    # estimator is built from the same canonical params: two estimators
+    # with equal .spec must behave identically.
+    canonical = {
+        k: v for k, v in params.items() if v != entry.params[k].default
+    }
+    return entry.build(format_spec(entry.name, canonical), canonical)
+
+
+def spec_of(detector) -> str:
+    """The canonical spec describing a live detector instance.
+
+    Reads each declared parameter off the instance and keeps only the
+    ones that differ from their default, so
+    ``make_estimator(spec_of(d))`` reconstructs an equivalent detector
+    and the emitted specs stay short.
+    """
+    _ensure_populated()
+    name = _BY_CLASS.get(type(detector))
+    if name is None:
+        raise TypeError(
+            f"{type(detector).__name__} is not a registered detector class; "
+            f"registered detectors: {registered_names()}"
+        )
+    entry = _REGISTRY[name]
+    params: dict[str, object] = {}
+    for key, param in entry.params.items():
+        # fit-time params (e.g. mccatch's metric) live on the estimator,
+        # not the detector instance: fall back to the default
+        value = getattr(detector, param.resolve_attr(key), param.default)
+        if value is None or value == param.default:
+            continue
+        params[key] = value
+    return format_spec(entry.name, params)

@@ -61,6 +61,10 @@ __all__ = [
     "all_detectors",
     "hyperparameter_grid",
     "scalable_detectors",
+    "detector_spec",
+    "default_detector_specs",
+    "all_detector_specs",
+    "hyperparameter_grid_specs",
 ]
 
 #: Methods the paper marks as scalable (G4); the others are quadratic
@@ -152,3 +156,35 @@ def hyperparameter_grid(name: str, n: int, random_state: int = 0) -> list[BaseDe
     if name not in grids:
         raise KeyError(f"no Table II grid for {name!r}; known: {sorted(grids)}")
     return grids[name]()
+
+
+# -- spec emission (the serving API's currency) -----------------------------
+
+
+def detector_spec(detector: BaseDetector) -> str:
+    """The canonical :mod:`repro.api` spec string describing ``detector``.
+
+    ``make_estimator(detector_spec(d))`` reconstructs an equivalent
+    detector, so a grid of instances becomes a grid of portable,
+    loggable strings.
+    """
+    from repro.api import spec_of
+
+    return spec_of(detector)
+
+
+def default_detector_specs(random_state: int = 0) -> list[str]:
+    """:func:`default_detectors` as spec strings."""
+    return [detector_spec(d) for d in default_detectors(random_state)]
+
+
+def all_detector_specs(random_state: int = 0) -> list[str]:
+    """:func:`all_detectors` as spec strings."""
+    return [detector_spec(d) for d in all_detectors(random_state)]
+
+
+def hyperparameter_grid_specs(name: str, n: int, random_state: int = 0) -> list[str]:
+    """Table II's grid for ``name`` as spec strings (see
+    :func:`hyperparameter_grid`); feed them to
+    :func:`repro.api.make_estimator` or the leaderboard directly."""
+    return [detector_spec(d) for d in hyperparameter_grid(name, n, random_state)]

@@ -21,6 +21,24 @@ import numpy as np
 from repro.utils.validation import as_float_array
 
 
+def check_finite_scores(name: str, scores: np.ndarray) -> np.ndarray:
+    """Reject NaN/inf anomaly scores with a detector-named error.
+
+    The one guard every scoring entry point shares: ``fit_scores`` and
+    the serving API's inductive fits (which compute from the kernels
+    directly) both route through it, so a non-finite score fails the
+    same way everywhere.
+    """
+    finite = np.isfinite(scores)
+    if not finite.all():
+        bad = np.nonzero(~finite)[0]
+        raise RuntimeError(
+            f"{name}: {bad.size} non-finite score(s) (NaN/inf), "
+            f"first at row {int(bad[0])} — a score must rank every point"
+        )
+    return scores
+
+
 class BaseDetector(ABC):
     """Abstract point-scoring outlier detector."""
 
@@ -38,6 +56,7 @@ class BaseDetector(ABC):
             raise RuntimeError(
                 f"{self.name}: expected {X.shape[0]} scores, got shape {scores.shape}"
             )
+        check_finite_scores(self.name, scores)
         return scores
 
     @abstractmethod

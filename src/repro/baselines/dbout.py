@@ -22,6 +22,17 @@ from repro.index.factory import build_index
 from repro.metric.base import MetricSpace
 
 
+def resolve_radius(X: np.ndarray, radius_fraction: float) -> float:
+    """The absolute query radius: ``radius_fraction`` of the bounding
+    diagonal, floored away from zero.
+
+    Factored out so the inductive serving model (:mod:`repro.api`) can
+    freeze the radius at fit time and reuse it for held-out batches.
+    """
+    diameter = float(np.linalg.norm(X.max(axis=0) - X.min(axis=0)))
+    return max(radius_fraction * diameter, np.finfo(np.float64).tiny)
+
+
 class DBOut(BaseDetector):
     """Negated count of neighbors within ``radius_fraction * diameter``."""
 
@@ -33,7 +44,6 @@ class DBOut(BaseDetector):
         self.radius_fraction = radius_fraction
 
     def _score(self, X: np.ndarray) -> np.ndarray:
-        diameter = float(np.linalg.norm(X.max(axis=0) - X.min(axis=0)))
-        radius = max(self.radius_fraction * diameter, np.finfo(np.float64).tiny)
+        radius = resolve_radius(X, self.radius_fraction)
         engine = BatchQueryEngine(build_index(MetricSpace(X), kind="auto"))
         return -engine.count_all_within(radius).astype(np.float64)

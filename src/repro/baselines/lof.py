@@ -17,6 +17,70 @@ import numpy as np
 from repro.baselines.base import BaseDetector, knn_distances
 
 
+def _reach_floor(k_distance: np.ndarray) -> float:
+    """Floor for the reachability mean in the lrd division.
+
+    A raw ``np.finfo.tiny`` floor saturates degenerate lrds at ~4.5e307,
+    where the final ratio against a normal lrd overflows to inf and
+    trips the library's finite-score guard; an *absolute* epsilon would
+    instead destroy LOF's scale invariance (a dataset measured in
+    picounits would score 1.0 everywhere).  Scaling the floor by the
+    largest fitted k-distance caps every lrd at ~1e12 relative to the
+    data's own scale: ratios stay finite and LOF(c·X) == LOF(X) for any
+    c > 0.  All-coincident data (scale 0) falls back to the tiny floor,
+    where every lrd saturates equally and all ratios are exactly 1.
+    """
+    scale = float(k_distance.max()) if k_distance.size else 0.0
+    return max(scale * 1e-12, np.finfo(np.float64).tiny)
+
+
+def lof_fit_arrays(X: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The fitted state of LOF: per-point k-distance, lrd, and LOF score.
+
+    Factored out of :meth:`LOF._score` so the inductive serving model
+    (:mod:`repro.api`) can keep ``k_distance`` and ``lrd`` around and
+    score held-out batches against them with :func:`lof_score_against`.
+    """
+    dists, idx = knn_distances(X, k)
+    k_distance = dists[:, -1]
+    # reach-dist_k(p, o) = max(k-distance(o), d(p, o))
+    reach = np.maximum(k_distance[idx], dists)
+    lrd = 1.0 / np.maximum(reach.mean(axis=1), _reach_floor(k_distance))
+    # LOF(p) = mean(lrd(o) for o in kNN(p)) / lrd(p)
+    return k_distance, lrd, _lrd_mean(lrd, idx) / lrd
+
+
+def _lrd_mean(lrd: np.ndarray, nbr_pos: np.ndarray) -> np.ndarray:
+    """Row-wise mean of ``lrd[nbr_pos]``, computed divide-first.
+
+    Belt to the :func:`_reach_floor` braces: lrds are capped near 1e12
+    relative to the data scale — and saturate at ~4.5e307 on the tiny
+    fallback for all-coincident data — so dividing before summing keeps
+    the partial sums below the float64 max in every case.
+    """
+    return (lrd[nbr_pos] / nbr_pos.shape[1]).sum(axis=1)
+
+
+def lof_score_against(
+    k_distance: np.ndarray,
+    lrd: np.ndarray,
+    nbr_dists: np.ndarray,
+    nbr_pos: np.ndarray,
+) -> np.ndarray:
+    """LOF of held-out points against a fit described by its arrays.
+
+    ``nbr_dists`` / ``nbr_pos`` are each held-out point's distances to
+    and positions of its k nearest *fitted* points; the classic
+    inductive evaluation plugs them into the same reachability
+    arithmetic the fit used.
+    """
+    reach = np.maximum(k_distance[nbr_pos], nbr_dists)
+    # the FITTED k-distances set the floor, so a held-out point's lrd
+    # lives on the same scale the fitted lrds were computed on
+    lrd_q = 1.0 / np.maximum(reach.mean(axis=1), _reach_floor(k_distance))
+    return _lrd_mean(lrd, nbr_pos) / lrd_q
+
+
 class LOF(BaseDetector):
     """Local Outlier Factor with MinPts = ``k``."""
 
@@ -28,13 +92,5 @@ class LOF(BaseDetector):
         self.k = k
 
     def _score(self, X: np.ndarray) -> np.ndarray:
-        n = X.shape[0]
-        k = min(self.k, n - 1)
-        dists, idx = knn_distances(X, k)
-        k_distance = dists[:, -1]
-        # reach-dist_k(p, o) = max(k-distance(o), d(p, o))
-        reach = np.maximum(k_distance[idx], dists)
-        with np.errstate(divide="ignore"):
-            lrd = 1.0 / np.maximum(reach.mean(axis=1), np.finfo(np.float64).tiny)
-        # LOF(p) = mean(lrd(o) for o in kNN(p)) / lrd(p)
-        return lrd[idx].mean(axis=1) / lrd
+        k = min(self.k, X.shape[0] - 1)
+        return lof_fit_arrays(X, k)[2]

@@ -12,12 +12,20 @@ Commands
     Replay a CSV through StreamingMcCatch in batches and print a
     per-batch alert log.
 ``fit``
-    Fit McCatch on a CSV of vectors and persist the whole model —
-    flat index arrays, data, result — to one ``.npz`` (fit once,
-    serve many).
+    Fit any registered detector (``--spec "mccatch?index=vptree"``,
+    ``--spec "lof?k=20"``, ...) on a CSV of vectors and persist the
+    fitted model to one ``.npz`` — or publish it straight into a
+    model registry (``--registry DIR``).  The historical McCatch
+    hyperparameter flags still work and are folded into a spec.
 ``score``
-    Load a saved model and score a held-out CSV batch against it
-    without refitting.
+    Load a saved model (by path, or resolved from a registry by spec)
+    and score a held-out CSV batch against it without refitting;
+    ``--mmap`` serves the model off the page cache so concurrent
+    scorers share one on-disk copy.
+``models``
+    Inspect a model registry: ``models list`` shows the published
+    artifacts, ``models resolve`` prints the artifact one spec/version
+    resolves to, ``models publish`` fits and publishes in one step.
 ``datasets``
     List the built-in dataset generators and their Table III metadata.
 ``demo``
@@ -84,26 +92,68 @@ def _build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--max-window", type=int, default=None,
                         help="sliding-window size (default: keep everything)")
 
-    fit = sub.add_parser("fit", help="fit McCatch and persist the model to .npz")
+    fit = sub.add_parser("fit", help="fit a detector spec and persist the model to .npz")
     fit.add_argument("path", help="CSV/TSV of numbers (model persistence is vector-only)")
-    fit.add_argument("-o", "--output", default="mccatch_model.npz",
-                     help="model output path (default mccatch_model.npz)")
-    fit.add_argument("--metric", default="euclidean",
-                     choices=["euclidean", "manhattan", "chebyshev"])
+    fit.add_argument("--spec", default=None,
+                     help="detector spec, e.g. 'mccatch?index=vptree' or 'lof?k=20' "
+                          "(default: McCatch built from the flags below)")
+    fit.add_argument("-o", "--output", default=None,
+                     help="model output path (default <detector>_model.npz, "
+                          "e.g. mccatch_model.npz or lof_model.npz)")
+    fit.add_argument("--registry", metavar="DIR", default=None,
+                     help="publish into this model registry instead of -o")
+    fit.add_argument("--metric", default=None,
+                     choices=["euclidean", "manhattan", "chebyshev"],
+                     help="fit metric (default euclidean)")
     fit.add_argument("--delimiter", default=",", help="CSV delimiter (default ',')")
-    fit.add_argument("--n-radii", type=int, default=15, help="hyperparameter a")
-    fit.add_argument("--max-slope", type=float, default=0.1, help="hyperparameter b")
-    fit.add_argument("--max-cardinality-fraction", type=float, default=0.1,
-                     help="hyperparameter c as a fraction of n")
-    fit.add_argument("--index", default="vptree",
+    fit.add_argument("--n-radii", type=int, default=None,
+                     help="hyperparameter a (default 15; deprecated: use "
+                          "--spec 'mccatch?a=...')")
+    fit.add_argument("--max-slope", type=float, default=None,
+                     help="hyperparameter b (default 0.1; deprecated: use --spec)")
+    fit.add_argument("--max-cardinality-fraction", type=float, default=None,
+                     help="hyperparameter c as a fraction of n "
+                          "(default 0.1; deprecated: use --spec)")
+    fit.add_argument("--index", default=None,
                      help="metric tree backing the model (default vptree; must "
                           "be flat-backed: vptree, balltree, covertree, mtree, slimtree)")
 
     score = sub.add_parser("score", help="score a held-out CSV against a saved model")
-    score.add_argument("model", help="model .npz written by `repro fit`")
+    score.add_argument("model",
+                       help="model .npz written by `repro fit` — or, with "
+                            "--registry, the spec string to resolve")
     score.add_argument("path", help="CSV/TSV of rows to score")
+    score.add_argument("--registry", metavar="DIR", default=None,
+                       help="resolve the model from this registry by spec")
+    score.add_argument("--fingerprint", default=None,
+                       help="dataset fingerprint selecting the registry key "
+                            "(default: the spec's only published fingerprint)")
+    score.add_argument("--model-version", type=int, default=None,
+                       help="registry version to resolve (default latest)")
+    score.add_argument("--mmap", action="store_true",
+                       help="memory-map the model so concurrent scorers share "
+                            "one on-disk copy (uncompressed archives only)")
     score.add_argument("--delimiter", default=",", help="CSV delimiter (default ',')")
     score.add_argument("--top", type=int, default=20, help="rows of ranking to print")
+
+    models = sub.add_parser("models", help="inspect or fill a model registry")
+    models_sub = models.add_subparsers(dest="models_command", required=True)
+    m_list = models_sub.add_parser("list", help="list the published artifacts")
+    m_list.add_argument("registry", help="registry directory")
+    m_list.add_argument("--spec", default=None, help="only artifacts of this spec")
+    m_resolve = models_sub.add_parser("resolve", help="print the artifact a spec resolves to")
+    m_resolve.add_argument("registry", help="registry directory")
+    m_resolve.add_argument("spec", help="detector spec to resolve")
+    m_resolve.add_argument("--fingerprint", default=None,
+                           help="dataset fingerprint (default: the only one)")
+    m_resolve.add_argument("--model-version", type=int, default=None,
+                           help="version to resolve (default latest)")
+    m_publish = models_sub.add_parser("publish", help="fit a spec on a CSV and publish")
+    m_publish.add_argument("registry", help="registry directory")
+    m_publish.add_argument("path", help="CSV/TSV of numbers to fit on")
+    m_publish.add_argument("--spec", default="mccatch?index=vptree",
+                           help="detector spec (default mccatch?index=vptree)")
+    m_publish.add_argument("--delimiter", default=",", help="CSV delimiter (default ',')")
 
     sub.add_parser("datasets", help="list the built-in dataset generators")
 
@@ -212,48 +262,273 @@ def _cmd_stream(args) -> int:
     return 0
 
 
+def _spec_with(spec: str, key: str, value) -> str:
+    """``spec`` with one more ``key=value`` parameter appended."""
+    return f"{spec}{'&' if '?' in spec else '?'}{key}={value}"
+
+
+def _print_published(record) -> None:
+    """The one report both `fit --registry` and `models publish` print."""
+    print(f"model published to {record.path}")
+    print(f"  spec={record.spec}  fingerprint={record.fingerprint}  "
+          f"version={record.version}")
+
+
+def _default_index_into_spec(spec: str, index: str):
+    """A McCatch spec that does not pin ``index=`` gets ``index`` filled in.
+
+    The spec default is ``auto``, which picks the non-persistable
+    compiled kd-tree — the one choice the persistence commands never
+    want.  Both ``fit`` and the registry side of ``score`` apply the
+    same rewrite, so the spec a user fits with is the spec they
+    resolve with.
+    """
+    from repro.api import make_estimator, parse_spec
+    from repro.api.estimators import McCatchEstimator
+
+    estimator = make_estimator(spec)
+    if isinstance(estimator, McCatchEstimator) and "index" not in parse_spec(spec)[1]:
+        estimator = make_estimator(_spec_with(spec, "index", index))
+    return estimator
+
+
+def _resolve_fit_estimator(args):
+    """The estimator `repro fit` should run: --spec, or flags folded in."""
+    from repro.api import make_estimator, spec_of
+
+    if args.spec is not None:
+        # all the deprecated flags default to None, so explicitly typed
+        # default values ("--n-radii 15") still count as given
+        clashing = [flag for flag, value in (
+            ("--n-radii", args.n_radii),
+            ("--max-slope", args.max_slope),
+            ("--max-cardinality-fraction", args.max_cardinality_fraction),
+        ) if value is not None]
+        if clashing:
+            raise SystemExit(
+                f"error: {', '.join(clashing)} cannot be combined with --spec; "
+                "put the parameters in the spec instead "
+                "(e.g. 'mccatch?a=20&b=0.2&c=0.05')"
+            )
+        from repro.api import parse_spec
+        from repro.api.estimators import McCatchEstimator
+
+        estimator = make_estimator(args.spec)
+        # the flags default to None, so an explicitly typed default
+        # value ("--index vptree") still counts as given
+        if not isinstance(estimator, McCatchEstimator):
+            if args.index is not None:
+                raise SystemExit(
+                    "error: --index applies only to McCatch specs "
+                    f"(got {estimator.spec!r})"
+                )
+            if args.metric is not None:
+                raise SystemExit(
+                    "error: --metric applies only to McCatch specs "
+                    f"(got {estimator.spec!r}; baselines are Euclidean-only)"
+                )
+            return estimator
+        raw = parse_spec(args.spec)[1]
+        spec = args.spec
+        if "index" in raw:
+            if args.index is not None:
+                raise SystemExit(
+                    "error: --index cannot be combined with a spec that "
+                    "already pins index=...; pick one"
+                )
+        else:
+            spec = _spec_with(spec, "index", args.index or "vptree")
+        if "metric" in raw:
+            if args.metric is not None:
+                raise SystemExit(
+                    "error: --metric cannot be combined with a spec that "
+                    "already pins metric=...; pick one"
+                )
+        elif args.metric is not None:
+            spec = _spec_with(spec, "metric", args.metric)
+        return make_estimator(spec)
+    spec = spec_of(McCatch(
+        n_radii=args.n_radii if args.n_radii is not None else 15,
+        max_slope=args.max_slope if args.max_slope is not None else 0.1,
+        max_cardinality_fraction=(
+            args.max_cardinality_fraction
+            if args.max_cardinality_fraction is not None else 0.1
+        ),
+        index=args.index or "vptree",
+    ))
+    if args.metric is not None:
+        spec = _spec_with(spec, "metric", args.metric)
+    return make_estimator(spec)
+
+
 def _cmd_fit(args) -> int:
-    data, metric = _load_input(args.path, args.metric, args.delimiter)
-    detector = McCatch(
-        n_radii=args.n_radii,
-        max_slope=args.max_slope,
-        max_cardinality_fraction=args.max_cardinality_fraction,
-        index=args.index,
-    )
-    t0 = time.perf_counter()
-    model = detector.fit_model(
-        np.asarray(data), metric if metric != "euclidean" else None
-    )
-    elapsed = time.perf_counter() - t0
+    from repro.api import McCatchServingModel, ModelRegistry
+
+    if args.registry and args.output is not None:
+        raise SystemExit(
+            "error: -o/--output cannot be combined with --registry "
+            "(the registry chooses the artifact path)"
+        )
     try:
-        out = model.save(args.output)
+        estimator = _resolve_fit_estimator(args)
+    except ValueError as exc:  # unknown spec / bad parameter
+        raise SystemExit(f"error: {exc}") from exc
+    data, _ = _load_input(args.path, args.metric or "euclidean", args.delimiter)
+    t0 = time.perf_counter()
+    try:
+        # --metric was folded into the spec by _resolve_fit_estimator
+        model = estimator.fit(np.asarray(data))
+    except (TypeError, ValueError, RuntimeError) as exc:
+        # bad fit-time spec values (index=bogus), non-finite scores, ...
+        raise SystemExit(f"error: {exc}") from exc
+    elapsed = time.perf_counter() - t0
+    if isinstance(model, McCatchServingModel):
+        result = model.model.result
+        print(f"n={result.n}  microclusters={len(result.microclusters)}  "
+              f"outlying points={result.n_outliers}  ({elapsed:.2f}s)")
+    else:
+        print(f"n={model.n_fitted}  spec={model.spec}  ({elapsed:.2f}s)")
+    try:
+        if args.registry:
+            _print_published(ModelRegistry(args.registry).publish(model))
+        else:
+            from repro.api import parse_spec
+
+            default_out = f"{parse_spec(model.spec)[0]}_model.npz"
+            print(f"model saved to {model.save(args.output or default_out)}")
     except TypeError as exc:  # e.g. a non-flat index kind
         raise SystemExit(f"error: {exc}") from exc
-    result = model.result
-    print(f"n={result.n}  microclusters={len(result.microclusters)}  "
-          f"outlying points={result.n_outliers}  ({elapsed:.2f}s)")
-    print(f"model saved to {out}")
     return 0
 
 
-def _cmd_score(args) -> int:
-    from repro import McCatchModel
+def _load_served_model(args):
+    """The model `repro score` should serve: registry spec or .npz path."""
+    from repro.api import ModelRegistry, load_model
 
-    model = McCatchModel.load(args.model)
+    if not args.registry and (args.fingerprint or args.model_version is not None):
+        raise SystemExit(
+            "error: --fingerprint/--model-version select a registry "
+            "artifact; they require --registry"
+        )
+    if args.registry:
+        from repro.api import parse_spec
+
+        registry = ModelRegistry(args.registry)
+        # mirror fit's index-default rewrite so the spec a user fitted
+        # with resolves the model it published (vptree is fit's default)
+        spec = _default_index_into_spec(args.model, "vptree").spec
+        try:
+            return registry.resolve(
+                spec,
+                fingerprint=args.fingerprint,
+                version=args.model_version,
+                mmap=args.mmap,
+            )
+        except LookupError:
+            # fall back only across the index choice (e.g. fitted with
+            # --index balltree): same detector, same hyperparameters.
+            # Other parameter differences must fail — silently serving
+            # a differently-configured model would misattribute scores.
+            want_name, want_params = parse_spec(spec)
+            want_params.pop("index", None)
+
+            def same_but_index(published: str) -> bool:
+                name, params = parse_spec(published)
+                params.pop("index", None)
+                return name == want_name and params == want_params
+
+            candidates = sorted(
+                {r.spec for r in registry.list() if same_but_index(r.spec)}
+            )
+            if len(candidates) != 1 or candidates[0] == spec:
+                raise
+            model = registry.resolve(
+                candidates[0],
+                fingerprint=args.fingerprint,
+                version=args.model_version,
+                mmap=args.mmap,
+            )
+            # stderr, after success: the note must neither pollute the
+            # parseable score table nor precede a failing resolve
+            print(f"note: serving published spec {candidates[0]!r} "
+                  f"for requested {args.model!r}", file=sys.stderr)
+            return model
+    return load_model(args.model, mmap=args.mmap)
+
+
+def _cmd_score(args) -> int:
+    import zipfile
+    from pathlib import Path
+
+    from repro.api import McCatchServingModel
+
+    try:
+        model = _load_served_model(args)
+    except (ValueError, LookupError, OSError, zipfile.BadZipFile) as exc:
+        hint = ""
+        if not args.registry and not Path(args.model).exists():
+            hint = " (a spec string needs --registry DIR)"
+        raise SystemExit(f"error: {exc}{hint}") from exc
     data, _ = _load_input(args.path, "euclidean", args.delimiter)
     X = np.asarray(data)
     t0 = time.perf_counter()
-    batch = model.score_batch(X)
+    try:
+        if isinstance(model, McCatchServingModel):
+            batch = model.score_details(X)
+            scores, flagged = batch.scores, set(batch.flagged.tolist())
+        else:
+            scores, flagged = model.score_batch(X), set()
+    except (ValueError, RuntimeError) as exc:
+        # wrong-dimensionality batches; non-finite transductive re-scores
+        raise SystemExit(f"error: {exc}") from exc
     elapsed = time.perf_counter() - t0
-    flagged = set(batch.flagged.tolist())
-    print(f"model n={model.n}  scored rows={X.shape[0]}  "
+    print(f"model n={model.n_fitted}  scored rows={X.shape[0]}  "
           f"flagged={len(flagged)}  ({elapsed:.2f}s)")
     print()
     print(f"{'row':>6}  {'score':>9}  flagged")
-    order = np.argsort(-batch.scores, kind="stable")[: args.top]
+    order = np.argsort(-scores, kind="stable")[: args.top]
     for r in order:
         mark = "yes" if int(r) in flagged else ""
-        print(f"{int(r):>6}  {batch.scores[r]:>9.2f}  {mark}")
+        print(f"{int(r):>6}  {scores[r]:>9.2f}  {mark}")
+    return 0
+
+
+def _cmd_models(args) -> int:
+    from repro.api import ModelRegistry
+
+    registry = ModelRegistry(args.registry)
+    if args.models_command == "list":
+        try:
+            records = registry.list(spec=args.spec)
+        except ValueError as exc:  # e.g. an unknown --spec filter
+            raise SystemExit(f"error: {exc}") from exc
+        if not records:
+            print(f"no published models in {registry.root}")
+            return 0
+        width = max(len(r.spec) for r in records) + 2
+        print(f"{'spec':<{width}}{'fingerprint':<18}{'version':>7}  path")
+        for record in records:
+            print(f"{record.spec:<{width}}{record.fingerprint:<18}"
+                  f"{record.version:>7}  {record.path}")
+        return 0
+    if args.models_command == "resolve":
+        try:
+            record = registry.record(
+                args.spec, fingerprint=args.fingerprint, version=args.model_version
+            )
+        except (ValueError, LookupError) as exc:
+            raise SystemExit(f"error: {exc}") from exc
+        print(record.path)
+        return 0
+    # publish: fit the spec and push the artifact in one step (same
+    # index-default rewrite as `fit`, for the same persistence reason)
+    data, _ = _load_input(args.path, "euclidean", args.delimiter)
+    try:
+        model = _default_index_into_spec(args.spec, "vptree").fit(np.asarray(data))
+        record = registry.publish(model)
+    except (ValueError, TypeError, RuntimeError) as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    _print_published(record)
     return 0
 
 
@@ -293,6 +568,7 @@ def main(argv: list[str] | None = None) -> int:
         "stream": _cmd_stream,
         "fit": _cmd_fit,
         "score": _cmd_score,
+        "models": _cmd_models,
         "datasets": _cmd_datasets,
         "demo": _cmd_demo,
     }

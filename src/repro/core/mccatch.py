@@ -33,7 +33,7 @@ from repro.metric.transformation import (
     transformation_cost_for_vectors,
 )
 from repro.metric.trees import LabeledTree
-from repro.utils.validation import check_positive_int, check_probability
+from repro.utils.validation import as_batch_rows, check_positive_int, check_probability
 
 
 class McCatch:
@@ -280,12 +280,24 @@ class McCatchModel:
         e.g. the streaming scorer's).
     result:
         The :class:`~repro.core.result.McCatchResult` of the fit.
+    spec:
+        Optional serving-spec string (see :mod:`repro.api`) recorded by
+        the unified API; persisted alongside the model so a registry
+        can reconstruct the estimator that produced it.
     """
 
-    def __init__(self, space: MetricSpace, index: MetricIndex | None, result: McCatchResult):
+    def __init__(
+        self,
+        space: MetricSpace,
+        index: MetricIndex | None,
+        result: McCatchResult,
+        *,
+        spec: str | None = None,
+    ):
         self.space = space
         self.index = index
         self.result = result
+        self.spec = spec
         inlier_mask = np.ones(result.n, dtype=bool)
         if result.outlier_indices.size:
             inlier_mask[result.outlier_indices] = False
@@ -311,9 +323,7 @@ class McCatchModel:
         save/load round trip.
         """
         if self.space.is_vector:
-            rows = np.asarray(batch, dtype=np.float64)
-            if rows.ndim == 1:
-                rows = rows.reshape(1, -1)
+            rows = as_batch_rows(batch, self.space.dimensionality)
         else:
             rows = list(batch)
         if len(rows) == 0:
@@ -333,11 +343,16 @@ class McCatchModel:
         return save_model(self, path)
 
     @classmethod
-    def load(cls, path) -> "McCatchModel":
-        """Load a model saved by :meth:`save`."""
+    def load(cls, path, *, mmap: bool = False) -> "McCatchModel":
+        """Load a model saved by :meth:`save`.
+
+        ``mmap=True`` memory-maps the index arrays and data matrix off
+        the archive so concurrent scorers share one on-disk model (see
+        :func:`repro.io.models.load_model`).
+        """
         from repro.io.models import load_model
 
-        return load_model(path)
+        return load_model(path, mmap=mmap)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         kind = type(self.index).__name__ if self.index is not None else "none"

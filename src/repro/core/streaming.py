@@ -35,6 +35,34 @@ from repro.core.result import McCatchResult
 from repro.metric.base import MetricSpace
 
 
+def _coerce_detector(detector) -> McCatch:
+    """Normalize the ``detector`` argument to a McCatch instance.
+
+    Accepts a McCatch, ``None`` (paper defaults), or anything the
+    serving API resolves — a spec string or an estimator — as long as
+    it describes McCatch: streaming refits run the full algorithm, so
+    a baseline spec has nothing to refit with.
+    """
+    if detector is None:
+        return McCatch()
+    if isinstance(detector, McCatch):
+        return detector
+    from repro.api import make_estimator
+    from repro.api.estimators import McCatchEstimator
+
+    estimator = make_estimator(detector)
+    if not isinstance(estimator, McCatchEstimator):
+        raise TypeError(
+            f"streaming requires a McCatch detector, got spec {estimator.spec!r}"
+        )
+    if estimator.metric is not None:
+        raise TypeError(
+            f"spec {estimator.spec!r} pins a fit metric; pass metric= to "
+            "StreamingMcCatch instead"
+        )
+    return estimator.detector
+
+
 @dataclass(frozen=True)
 class StreamingUpdate:
     """What one :meth:`StreamingMcCatch.update` call produced.
@@ -68,7 +96,11 @@ class StreamingMcCatch:
     Parameters
     ----------
     detector:
-        Configured McCatch instance (defaults to paper defaults).
+        Configured McCatch instance (defaults to paper defaults), or a
+        serving-API spec string / estimator for one
+        (``"mccatch?a=15&engine=batched"``, see
+        :func:`repro.api.make_estimator`) — streaming is a McCatch
+        capability, so non-McCatch specs are rejected.
     metric:
         Distance function for nondimensional elements (as in
         :meth:`McCatch.fit`).
@@ -109,7 +141,7 @@ class StreamingMcCatch:
             raise ValueError(f"min_fit_size must be >= 2, got {min_fit_size}")
         if max_window is not None and max_window < min_fit_size:
             raise ValueError("max_window must be >= min_fit_size")
-        self.detector = detector if detector is not None else McCatch()
+        self.detector = _coerce_detector(detector)
         self.metric = metric
         self.refit_factor = float(refit_factor)
         self.min_fit_size = int(min_fit_size)
@@ -225,8 +257,11 @@ class StreamingMcCatch:
     def _provisional(self, rows: list) -> tuple[np.ndarray, np.ndarray]:
         """Score new elements against the last fitted model.
 
-        Delegates to :meth:`McCatchModel.score_batch` — the one
-        provisional scorer shared with the persistence layer: ``g`` =
+        Delegates to :meth:`McCatchModel.score_batch` — the same
+        scorer the serving contract (:mod:`repro.api`) and the
+        persistence layer use, so a streamed provisional score, a
+        served batch score, and a loaded-model score are one code
+        path: ``g`` =
         distance to the nearest model inlier, score = ⟨1 + g/r₁⟩
         (Alg. 4 line 22), flagged iff ``g ≥ d``.  Costs O(|inliers|)
         distances per element — the price of freshness between refits —

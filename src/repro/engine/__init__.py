@@ -19,13 +19,20 @@ from repro.engine.executor import (
     BatchQueryEngine,
     check_engine_mode,
 )
-from repro.engine.neighbors import knn_distances, nearest_distances_to
+from repro.engine.neighbors import (
+    count_within_to,
+    knn_distances,
+    knn_to,
+    nearest_distances_to,
+)
 
 __all__ = [
     "BatchQueryEngine",
     "ENGINE_MODES",
     "UNKNOWN_COUNT",
     "check_engine_mode",
+    "count_within_to",
     "knn_distances",
+    "knn_to",
     "nearest_distances_to",
 ]

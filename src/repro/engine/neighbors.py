@@ -79,3 +79,57 @@ def nearest_distances_to(
         block = objs[start : start + _CHUNK]
         out[start : start + len(block)] = space.distances_to_many(block, idx).min(axis=1)
     return out
+
+
+def knn_to(
+    space: MetricSpace, objs: Sequence, indices: Sequence[int] | np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """k nearest indexed elements for each (out-of-dataset) object.
+
+    The held-out counterpart of :func:`knn_distances`: nothing is
+    excluded (a held-out object is not among the candidates), ties
+    break deterministically by stable sort on candidate order, and both
+    returned ``(q, k)`` arrays follow ``objs`` order — distances and
+    element ids.  Serves the inductive baseline models of
+    :mod:`repro.api` (kNN-Out / LOF scoring batches against a fit).
+    """
+    idx = np.asarray(indices, dtype=np.intp)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if k > idx.size:
+        raise ValueError(f"k={k} must be <= {idx.size} candidate elements")
+    n_objs = len(objs)
+    dists = np.empty((n_objs, k), dtype=np.float64)
+    nbr_ids = np.empty((n_objs, k), dtype=np.intp)
+    for start in range(0, n_objs, _CHUNK):
+        block = objs[start : start + _CHUNK]
+        dm = space.distances_to_many(block, idx)
+        order = np.argsort(dm, axis=1, kind="stable")[:, :k]
+        dists[start : start + len(block)] = np.take_along_axis(dm, order, axis=1)
+        nbr_ids[start : start + len(block)] = idx[order]
+    return dists, nbr_ids
+
+
+def count_within_to(
+    space: MetricSpace,
+    objs: Sequence,
+    indices: Sequence[int] | np.ndarray,
+    radius: float,
+) -> np.ndarray:
+    """Indexed elements within ``radius`` of each (out-of-dataset) object.
+
+    Distances are inclusive (``d <= radius``), matching the index
+    layer's counting convention; chunked bulk blocks keep the
+    temporary distance matrix bounded.  Serves the inductive DB-Out
+    model of :mod:`repro.api`.
+    """
+    idx = np.asarray(indices, dtype=np.intp)
+    if idx.size == 0:
+        raise ValueError("need at least one candidate element")
+    n_objs = len(objs)
+    out = np.empty(n_objs, dtype=np.int64)
+    for start in range(0, n_objs, _CHUNK):
+        block = objs[start : start + _CHUNK]
+        dm = space.distances_to_many(block, idx)
+        out[start : start + len(block)] = np.count_nonzero(dm <= radius, axis=1)
+    return out

@@ -99,6 +99,11 @@ class Leaderboard:
 
 def _score_with(detector, ds: LoadedDataset) -> np.ndarray:
     """Dispatch: McCatch handles metric data itself; baselines need vectors."""
+    from repro.api.base import Estimator
+
+    if isinstance(detector, Estimator):
+        model = detector.fit(ds.data, ds.metric)
+        return np.asarray(model.training_scores)
     if isinstance(detector, McCatch):
         return detector.fit(ds.data, ds.metric).point_scores
     if not ds.is_vector:
@@ -107,6 +112,9 @@ def _score_with(detector, ds: LoadedDataset) -> np.ndarray:
 
 
 def _name(detector) -> str:
+    spec = getattr(detector, "spec", None)
+    if isinstance(spec, str):  # unified-API estimators render as their spec
+        return spec
     return getattr(detector, "name", None) or type(detector).__name__
 
 
@@ -123,9 +131,13 @@ def evaluate_detectors(
     Parameters
     ----------
     detectors:
-        McCatch instances and/or any objects with ``fit_scores(X)``
-        (every class in :mod:`repro.baselines` qualifies).  McCatch
-        gets the dataset's native metric; baselines get vectors only.
+        Spec strings (``"mccatch?a=15"``, ``"lof?k=20"`` — anything
+        :func:`repro.api.make_estimator` accepts), unified-API
+        estimators, McCatch instances, and/or any objects with
+        ``fit_scores(X)`` (every class in :mod:`repro.baselines`
+        qualifies), freely mixed.  McCatch gets the dataset's native
+        metric; baselines get vectors only.  Spec-built detectors
+        appear in the board under their canonical spec string.
     datasets:
         Dataset names for :func:`repro.datasets.load`, or already
         loaded :class:`LoadedDataset` objects.  Datasets without labels
@@ -140,6 +152,14 @@ def evaluate_detectors(
         raise ValueError("need at least one detector")
     if not datasets:
         raise ValueError("need at least one dataset")
+    resolved = []
+    for det in detectors:
+        if isinstance(det, str):
+            from repro.api import make_estimator
+
+            det = make_estimator(det)
+        resolved.append(det)
+    detectors = resolved
     metric_fns = dict(ALL_METRICS) if metrics is None else dict(metrics)
 
     loaded: list[LoadedDataset] = []

@@ -11,10 +11,14 @@
   :class:`~repro.index.base.FrozenIndex`;
 - :mod:`repro.io.models` — whole fitted-model persistence
   (:class:`~repro.core.mccatch.McCatchModel`): index + data + result in
-  one archive, for fit-once-serve-many deployments.
+  one archive, for fit-once-serve-many deployments;
+- :mod:`repro.io.mmap` — read-only memory-mapping of uncompressed
+  ``.npz`` archives, so many serving processes share one on-disk
+  index/model through the page cache.
 """
 
 from repro.io.indexes import load_index, save_index
+from repro.io.mmap import open_npz_mmap
 from repro.io.loaders import (
     load_labeled_csv,
     load_strings,
@@ -46,4 +50,5 @@ __all__ = [
     "load_index",
     "save_model",
     "load_model",
+    "open_npz_mmap",
 ]

@@ -65,16 +65,20 @@ def index_payload(index: MetricIndex, *, include_data: bool = True) -> dict:
     return payload
 
 
-def save_index(index: MetricIndex, path: str | Path) -> Path:
+def save_index(index: MetricIndex, path: str | Path, *, compressed: bool = False) -> Path:
     """Persist a flat-backed index to a single ``.npz`` archive.
 
     Vector spaces embed their data matrix and metric order; object
     spaces save structure only (pass the space to :func:`load_index`).
+    The default is an *uncompressed* container so the arrays can be
+    memory-mapped at load time (``load_index(..., mmap=True)``);
+    ``compressed=True`` trades that away for a smaller archive.
     Returns the written path.
     """
     path = Path(path)
+    save = np.savez_compressed if compressed else np.savez
     with open(path, "wb") as f:
-        np.savez(f, **index_payload(index))
+        save(f, **index_payload(index))
     return path
 
 
@@ -112,13 +116,26 @@ def frozen_from_payload(payload, space: MetricSpace | None = None) -> FrozenInde
     )
 
 
-def load_index(path: str | Path, space: MetricSpace | None = None) -> FrozenIndex:
+def load_index(
+    path: str | Path, space: MetricSpace | None = None, *, mmap: bool = False
+) -> FrozenIndex:
     """Load an index saved by :func:`save_index`.
 
     ``space`` is required when the archive was saved without data (an
     object space); when given it takes precedence over any embedded
     data, which lets callers share one in-memory space across several
     loaded indexes.
+
+    ``mmap=True`` maps the tree arrays and the embedded data matrix
+    read-only straight off the archive (see :mod:`repro.io.mmap`), so
+    many scoring processes share one on-disk index through the page
+    cache instead of materializing a copy each.  Only uncompressed
+    archives (the :func:`save_index` default) can be mapped; compressed
+    ones raise ``ValueError`` rather than silently materializing.
     """
+    if mmap:
+        from repro.io.mmap import open_npz_mmap
+
+        return frozen_from_payload(open_npz_mmap(path), space)
     with np.load(Path(path), allow_pickle=False) as payload:
         return frozen_from_payload(payload, space)

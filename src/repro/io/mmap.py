@@ -1,0 +1,115 @@
+"""Memory-mapped access to uncompressed ``.npz`` archives.
+
+``np.load(path, mmap_mode="r")`` silently ignores ``mmap_mode`` for
+``.npz`` members — every array is materialized per process.  For
+serving, that defeats the point of one shared on-disk index: each
+scoring process would pay the full copy.  But ``np.savez`` (without
+compression) stores each member's ``.npy`` bytes *verbatim* inside the
+zip container, so the raw array data sits at a computable file offset
+and can be handed straight to :class:`numpy.memmap` — the OS page
+cache then shares one physical copy of the index across every process
+that maps it.
+
+:func:`open_npz_mmap` does exactly that: it walks the zip directory,
+parses each member's local header and ``.npy`` header to find the data
+offset, and maps the payload read-only.  Members that cannot be mapped
+(zero-size or 0-d scalars, e.g. the format tags) are read normally —
+they are bytes, not megabytes.  Compressed members are rejected with a
+clear error instead of being silently materialized.
+"""
+
+from __future__ import annotations
+
+import struct
+import zipfile
+from pathlib import Path
+
+import numpy as np
+from numpy.lib import format as npy_format
+
+#: Fixed part of a zip local file header: signature through extra-length.
+_LOCAL_HEADER_SIZE = 30
+_LOCAL_HEADER_SIG = b"PK\x03\x04"
+
+
+class MappedArchive(dict):
+    """Arrays of one ``.npz``, large payloads as read-only ``np.memmap``.
+
+    A plain dict with the :attr:`files` convenience of ``np.lib.npyio.NpzFile``,
+    so payload-consuming code can accept either interchangeably.
+    """
+
+    @property
+    def files(self) -> list[str]:
+        """Member names (without the ``.npy`` suffix), NpzFile-style."""
+        return list(self.keys())
+
+
+def _member_data_offset(raw, info: zipfile.ZipInfo) -> int:
+    """File offset of a stored member's first data byte.
+
+    The central directory gives the local header's offset; the local
+    header's own (possibly different) filename/extra lengths give the
+    distance from there to the data.
+    """
+    raw.seek(info.header_offset)
+    header = raw.read(_LOCAL_HEADER_SIZE)
+    if len(header) != _LOCAL_HEADER_SIZE or header[:4] != _LOCAL_HEADER_SIG:
+        raise ValueError(f"corrupt zip member {info.filename!r}")
+    name_len, extra_len = struct.unpack("<2H", header[26:30])
+    return info.header_offset + _LOCAL_HEADER_SIZE + name_len + extra_len
+
+
+def _read_npy_header(raw) -> tuple[tuple, bool, np.dtype]:
+    """Parse the ``.npy`` header at the current file position."""
+    version = npy_format.read_magic(raw)
+    if version == (1, 0):
+        return npy_format.read_array_header_1_0(raw)
+    if version == (2, 0):
+        return npy_format.read_array_header_2_0(raw)
+    return npy_format._read_array_header(raw, version)
+
+
+def open_npz_mmap(path: str | Path) -> MappedArchive:
+    """Open an uncompressed ``.npz`` with its arrays memory-mapped.
+
+    Every mappable member becomes a read-only :class:`numpy.memmap`
+    view of the archive file itself; 0-d / empty members are read
+    eagerly.  Raises ``ValueError`` for archives written with
+    ``np.savez_compressed`` (deflated bytes have no mappable layout) —
+    re-save with ``compressed=False`` to serve via mmap.
+    """
+    path = Path(path)
+    arrays = MappedArchive()
+    with zipfile.ZipFile(path) as zf, open(path, "rb") as raw:
+        for info in zf.infolist():
+            name = info.filename
+            key = name[:-4] if name.endswith(".npy") else name
+            if info.compress_type != zipfile.ZIP_STORED:
+                raise ValueError(
+                    f"{path}: member {key!r} is compressed and cannot be "
+                    "memory-mapped; re-save the archive uncompressed "
+                    "(compressed=False / np.savez, not np.savez_compressed) "
+                    "or load without mmap"
+                )
+            offset = _member_data_offset(raw, info)
+            raw.seek(offset)
+            shape, fortran, dtype = _read_npy_header(raw)
+            if dtype.hasobject:
+                raise ValueError(
+                    f"{path}: member {key!r} has object dtype and cannot be "
+                    "memory-mapped"
+                )
+            if shape == () or 0 in shape:
+                with zf.open(info) as member:  # scalars/tags: bytes, not MBs
+                    arrays[key] = npy_format.read_array(member, allow_pickle=False)
+                continue
+            arrays[key] = np.memmap(
+                path,
+                dtype=dtype,
+                mode="r",
+                offset=raw.tell(),
+                shape=shape,
+                order="F" if fortran else "C",
+            )
+    return arrays

@@ -49,20 +49,45 @@ def save_model(model: McCatchModel, path: str | Path) -> Path:
     payload["format"] = np.str_(MODEL_FORMAT)
     payload["index_format"] = np.str_(INDEX_FORMAT)
     payload["result_json"] = np.str_(json.dumps(result_to_dict(model.result)))
+    if getattr(model, "spec", None) is not None:
+        payload["spec"] = np.str_(model.spec)
     path = Path(path)
     with open(path, "wb") as f:
         np.savez(f, **payload)
     return path
 
 
-def load_model(path: str | Path) -> McCatchModel:
-    """Load a model saved by :func:`save_model`."""
+def model_from_payload(payload) -> McCatchModel:
+    """Stand a :class:`McCatchModel` back up from :func:`save_model` arrays.
+
+    ``payload`` is anything mapping member names to arrays with an
+    ``NpzFile``-style ``files`` attribute — a live ``np.load`` handle
+    or a :class:`repro.io.mmap.MappedArchive`.
+    """
+    fmt = str(payload["format"][()]) if "format" in payload else None
+    if fmt != MODEL_FORMAT:
+        raise ValueError(f"unsupported model format: {fmt!r}")
+    index_arrays = {
+        k: payload[k] for k in payload.files if k not in ("format", "spec")
+    }
+    index_arrays["format"] = payload["index_format"]
+    index = frozen_from_payload(index_arrays)
+    result = result_from_dict(json.loads(str(payload["result_json"][()])))
+    spec = str(payload["spec"][()]) if "spec" in payload else None
+    return McCatchModel(index.space, index, result, spec=spec)
+
+
+def load_model(path: str | Path, *, mmap: bool = False) -> McCatchModel:
+    """Load a model saved by :func:`save_model`.
+
+    ``mmap=True`` serves the index arrays and data matrix as read-only
+    memory maps of the archive (uncompressed containers only — see
+    :func:`repro.io.mmap.open_npz_mmap`), so concurrent scoring
+    processes share one on-disk model instead of materializing copies.
+    """
+    if mmap:
+        from repro.io.mmap import open_npz_mmap
+
+        return model_from_payload(open_npz_mmap(path))
     with np.load(Path(path), allow_pickle=False) as payload:
-        fmt = str(payload["format"][()]) if "format" in payload else None
-        if fmt != MODEL_FORMAT:
-            raise ValueError(f"unsupported model format: {fmt!r}")
-        index_arrays = {k: payload[k] for k in payload.files if k != "format"}
-        index_arrays["format"] = payload["index_format"]
-        index = frozen_from_payload(index_arrays)
-        result = result_from_dict(json.loads(str(payload["result_json"][()])))
-    return McCatchModel(index.space, index, result)
+        return model_from_payload(payload)

@@ -63,3 +63,23 @@ def check_probability(value, *, name: str, allow_zero: bool = True) -> float:
     if not (low_ok and value <= 1.0):
         raise ValueError(f"{name} must be in {'[0, 1]' if allow_zero else '(0, 1]'}, got {value}")
     return value
+
+
+def as_batch_rows(batch, dimensionality: int) -> np.ndarray:
+    """A held-out batch as ``(b, d)`` float64 rows, ``d`` pinned.
+
+    The shared serving-boundary guard: NumPy would happily *broadcast*
+    a width-1 batch against d-dimensional fitted data and produce
+    plausible-looking garbage scores, so the width is checked, not
+    assumed.  A 1-d input is one point for ``d > 1`` and a column of
+    points for ``d == 1``.
+    """
+    rows = np.asarray(batch, dtype=np.float64)
+    if rows.ndim == 1:
+        rows = rows.reshape(1, -1) if dimensionality > 1 else rows.reshape(-1, 1)
+    if rows.ndim != 2 or rows.shape[1] != dimensionality:
+        raise ValueError(
+            f"batch has shape {rows.shape}; the model was fitted on "
+            f"{dimensionality}-dimensional data"
+        )
+    return rows

@@ -1,0 +1,425 @@
+"""The unified serving API: spec registry, fitted models, mmap persistence."""
+
+import numpy as np
+import pytest
+
+from repro import McCatch
+from repro.api import (
+    FittedModel,
+    KNNOutModel,
+    LOFModel,
+    DBOutModel,
+    McCatchEstimator,
+    McCatchServingModel,
+    TransductiveModel,
+    load_model,
+    make_estimator,
+    parse_spec,
+    registered_names,
+    spec_of,
+)
+from repro.baselines import (
+    all_detectors,
+    all_detector_specs,
+    hyperparameter_grid,
+    hyperparameter_grid_specs,
+)
+from repro.baselines.base import BaseDetector
+from repro.index.factory import build_index
+from repro.io.indexes import load_index, save_index
+from repro.metric.base import MetricSpace
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(7)
+    X = np.vstack([rng.normal(0.0, 1.0, (200, 3)), [[8.0, 8.0, 8.0], [8.1, 8.0, 8.0]]])
+    return X
+
+
+@pytest.fixture(scope="module")
+def batch():
+    rng = np.random.default_rng(11)
+    return np.vstack([rng.normal(0.0, 1.0, (30, 3)), [[40.0, -40.0, 0.0]]])
+
+
+class TestSpecRegistry:
+    def test_every_detector_constructible_and_round_trips(self):
+        # The acceptance criterion: all_detectors() plus McCatch.
+        detectors = all_detectors(random_state=0) + [
+            McCatch(),
+            McCatch(n_radii=10, index="vptree", engine_mode="per_point"),
+        ]
+        for det in detectors:
+            spec = spec_of(det)
+            est = make_estimator(spec)
+            assert est.spec == spec
+            assert make_estimator(est.spec).spec == est.spec
+
+    def test_mccatch_params_forwarded(self):
+        est = make_estimator("mccatch?a=11&b=0.2&engine=per_point&index=balltree")
+        assert isinstance(est, McCatchEstimator)
+        det = est.detector
+        assert det.n_radii == 11
+        assert det.max_slope == 0.2
+        assert det.engine_mode == "per_point"
+        assert det.index == "balltree"
+
+    def test_baseline_params_forwarded(self):
+        est = make_estimator("iforest?n_trees=16&seed=3")
+        assert est.detector.n_trees == 16
+        assert est.detector.random_state == 3
+
+    def test_canonical_spec_sorts_keys(self):
+        assert make_estimator("mccatch?engine=per_point&a=10").spec == (
+            "mccatch?a=10&engine=per_point"
+        )
+
+    def test_numpy_scalar_params_render_as_plain_values(self):
+        from repro.baselines import DBOut
+
+        spec = spec_of(DBOut(radius_fraction=np.float64(0.25)))
+        assert spec == "dbout?radius_fraction=0.25"
+        assert make_estimator(spec).detector.radius_fraction == 0.25
+
+    def test_int_tuple_params_round_trip(self):
+        from repro.baselines import DeepSVDD
+
+        spec = spec_of(DeepSVDD(hidden=(64, 32, 16)))
+        assert spec == "deepsvdd?hidden=64,32,16"
+        assert make_estimator(spec).detector.hidden == (64, 32, 16)
+        with pytest.raises(ValueError, match="int list"):
+            make_estimator("deepsvdd?hidden=64,abc")
+
+    def test_canonical_spec_drops_spelled_out_defaults(self):
+        # equivalent configurations must render (and registry-key) the same
+        assert make_estimator("lof?k=5").spec == "lof"
+        assert make_estimator("mccatch?a=15&engine=batched").spec == "mccatch"
+        assert make_estimator("iforest?seed=0").spec == "iforest?seed=0"  # != None
+
+    def test_small_n_fits_clamp_k_consistently(self):
+        # the stored k must be the one the fitted arrays were built with
+        X = np.zeros((3, 2)) + np.arange(3)[:, None]
+        lof = make_estimator("lof?k=10").fit(X)
+        assert lof.k == 2
+        knn = make_estimator("knnout?k=10").fit(X)
+        assert knn.k == 2
+        assert knn.score_batch(X[:2]).shape == (2,)
+
+    def test_names_are_punctuation_insensitive(self):
+        for alias in ("kNN-Out?k=3", "knnout?k=3", "KNN_OUT?k=3"):
+            assert make_estimator(alias).spec == "knnout?k=3"
+        assert make_estimator("DB-Out").spec == "dbout"
+        assert make_estimator("KMeans--").spec == "kmeansmm"
+        assert make_estimator("D.MCA").spec == "dmca"
+
+    def test_unknown_detector_lists_registered_names(self):
+        with pytest.raises(ValueError, match=r"unknown detector 'nope'.*mccatch"):
+            make_estimator("nope?k=3")
+
+    def test_unknown_parameter_lists_valid_params(self):
+        with pytest.raises(ValueError, match=r"unknown parameter 'kk'.*\['k'\]"):
+            make_estimator("lof?kk=3")
+
+    def test_bad_value_raises_with_type(self):
+        with pytest.raises(ValueError, match="not a valid int"):
+            make_estimator("lof?k=three")
+
+    def test_malformed_and_duplicate_params_raise(self):
+        with pytest.raises(ValueError, match="expected key=value"):
+            make_estimator("lof?k")
+        with pytest.raises(ValueError, match="duplicate"):
+            make_estimator("lof?k=3&k=4")
+
+    def test_parse_spec_splits_raw(self):
+        assert parse_spec("mccatch?a=15&engine=batched") == (
+            "mccatch", {"a": "15", "engine": "batched"}
+        )
+
+    def test_estimator_passes_through(self):
+        est = make_estimator("lof?k=2")
+        assert make_estimator(est) is est
+
+    def test_registered_names_cover_inventory(self):
+        names = registered_names()
+        assert "mccatch" in names
+        assert len(names) == 25  # 24 baseline classes + mccatch
+
+    def test_grid_specs_reconstruct_grid(self):
+        for name in ("LOF", "iForest", "DB-Out"):
+            specs = hyperparameter_grid_specs(name, 200, random_state=0)
+            grid = hyperparameter_grid(name, 200, random_state=0)
+            assert len(specs) == len(grid)
+            for spec, det in zip(specs, grid):
+                rebuilt = make_estimator(spec).detector
+                assert type(rebuilt) is type(det)
+
+    def test_all_detector_specs_constructible(self):
+        for spec in all_detector_specs(random_state=1):
+            make_estimator(spec)
+
+    def test_spec_of_rejects_unregistered_class(self):
+        with pytest.raises(TypeError, match="not a registered detector"):
+            spec_of(object())
+
+
+class TestInductiveModels:
+    @pytest.mark.parametrize("spec,cls", [
+        ("knnout?k=4", KNNOutModel),
+        ("lof?k=6", LOFModel),
+        ("dbout?radius_fraction=0.25", DBOutModel),
+    ])
+    def test_training_scores_match_fit_scores(self, dataset, spec, cls):
+        model = make_estimator(spec).fit(dataset)
+        assert isinstance(model, cls)
+        expected = make_estimator(spec).detector.fit_scores(dataset)
+        assert np.array_equal(model.training_scores, expected)
+
+    @pytest.mark.parametrize("spec", [
+        "knnout?k=4", "lof?k=6", "dbout?radius_fraction=0.25",
+    ])
+    def test_save_load_scores_bit_identical(self, dataset, batch, spec, tmp_path):
+        model = make_estimator(spec).fit(dataset)
+        scores = model.score_batch(batch)
+        assert scores.shape == (batch.shape[0],)
+        path = model.save(tmp_path / "m.npz")
+        for mmap in (False, True):
+            back = FittedModel.load(path, mmap=mmap)
+            assert back.spec == model.spec
+            assert np.array_equal(back.score_batch(batch), scores)
+            assert np.array_equal(back.training_scores, model.training_scores)
+
+    @pytest.mark.parametrize("spec", [
+        "knnout?k=4", "lof?k=6", "dbout", "mccatch?index=vptree",
+    ])
+    def test_dimension_mismatched_batch_rejected(self, dataset, spec):
+        # a width-1 batch would broadcast against the fitted data and
+        # score garbage; the serving boundary must refuse instead
+        model = make_estimator(spec).fit(dataset)
+        with pytest.raises(ValueError, match="fitted on 3-dimensional"):
+            model.score_batch(np.zeros((4, 1)))
+        with pytest.raises(ValueError, match="fitted on 3-dimensional"):
+            model.score_batch(np.zeros((4, 5)))
+
+    def test_one_dimensional_fits_score_columns(self):
+        X = np.arange(20, dtype=np.float64).reshape(-1, 1)
+        model = make_estimator("knnout?k=2").fit(X)
+        assert model.score_batch([1.0, 2.0, 3.0]).shape == (3,)
+
+    def test_held_out_knnout_is_kth_train_distance(self, dataset):
+        model = make_estimator("knnout?k=1").fit(dataset)
+        q = np.array([[0.0, 0.0, 0.0]])
+        d = np.sqrt(((dataset - q) ** 2).sum(axis=1)).min()
+        assert model.score_batch(q)[0] == pytest.approx(d)
+
+    def test_dbout_radius_frozen_at_fit(self, dataset):
+        model = make_estimator("dbout?radius_fraction=0.1").fit(dataset)
+        # a training row scored as held-out counts itself at distance 0,
+        # so it sees exactly the training count (which also counted self)
+        assert model.score_batch(dataset[:5]) == pytest.approx(
+            model.training_scores[:5]
+        )
+
+
+class TestTransductiveModel:
+    def test_score_batch_reruns_on_union(self, dataset, batch):
+        spec = "iforest?n_trees=8&seed=5"
+        model = make_estimator(spec).fit(dataset)
+        assert isinstance(model, TransductiveModel)
+        expected = make_estimator(spec).detector.fit_scores(
+            np.vstack([dataset, batch])
+        )[dataset.shape[0]:]
+        assert np.array_equal(model.score_batch(batch), expected)
+
+    def test_save_load_round_trip_with_seed(self, dataset, batch, tmp_path):
+        model = make_estimator("iforest?n_trees=8&seed=5").fit(dataset)
+        scores = model.score_batch(batch)
+        path = model.save(tmp_path / "t.npz")
+        for mmap in (False, True):
+            back = FittedModel.load(path, mmap=mmap)
+            assert isinstance(back, TransductiveModel)
+            assert np.array_equal(back.score_batch(batch), scores)
+
+    def test_odin_is_transductive(self, dataset):
+        assert isinstance(make_estimator("odin?k=3").fit(dataset), TransductiveModel)
+
+
+class TestDegenerateData:
+    def test_lof_stays_finite_on_duplicate_heavy_data(self):
+        # >= k+1 coincident rows saturate the lrds; the reachability
+        # floor keeps both entry points finite and consistent
+        rng = np.random.default_rng(0)
+        X = np.vstack([np.zeros((8, 2)), rng.normal(5.0, 1.0, (20, 2))])
+        from repro.baselines import LOF
+
+        direct = LOF(k=5).fit_scores(X)
+        assert np.isfinite(direct).all()
+        model = make_estimator("lof?k=5").fit(X)
+        assert np.array_equal(model.training_scores, direct)
+        assert np.isfinite(model.score_batch(np.zeros((2, 2)))).all()
+
+    def test_lof_finite_with_point_adjacent_to_duplicates(self):
+        # the nasty case: a normal-lrd point whose neighbors are all
+        # saturated duplicates — the ratio must not overflow to inf,
+        # at fit time or when serving a held-out point
+        from repro.baselines import LOF
+
+        X = np.vstack([np.zeros((11, 2)), [[5.0, 5.0]]])
+        scores = LOF(k=5).fit_scores(X)
+        assert np.isfinite(scores).all()
+        assert scores[-1] > scores[:-1].max()  # still ranks last point top
+        model = make_estimator("lof?k=5").fit(X)
+        held = model.score_batch(np.array([[5.0, 5.0], [0.0, 0.0]]))
+        assert np.isfinite(held).all()
+
+    def test_lof_is_scale_invariant(self):
+        # the reachability floor is relative to the data's own scale:
+        # pico-scale data must rank identically to unit-scale data
+        from repro.baselines import LOF
+
+        rng = np.random.default_rng(1)
+        X = np.vstack([rng.normal(0.0, 1.0, (200, 2)), [[8.0, 8.0]]])
+        base = LOF(k=10).fit_scores(X)
+        tiny_scale = LOF(k=10).fit_scores(X * 1e-12)
+        assert int(np.argmax(base)) == int(np.argmax(tiny_scale)) == 200
+        assert np.allclose(base, tiny_scale)
+
+
+class TestMetricSpecs:
+    def test_metric_param_round_trips(self):
+        est = make_estimator("mccatch?index=vptree&metric=manhattan")
+        assert est.spec == "mccatch?index=vptree&metric=manhattan"
+        assert est.metric == "manhattan"
+
+    def test_spec_metric_conflicts_with_fit_arg(self, dataset):
+        est = make_estimator("mccatch?metric=manhattan")
+        with pytest.raises(TypeError, match="pins metric"):
+            est.fit(dataset, "chebyshev")
+
+    def test_spec_metric_actually_fits_that_metric(self, dataset):
+        from repro import McCatch
+
+        via_spec = make_estimator("mccatch?index=vptree&metric=manhattan").fit(dataset)
+        direct = McCatch(index="vptree").fit(dataset, "manhattan")
+        assert np.array_equal(via_spec.training_scores, direct.point_scores)
+
+    def test_streaming_rejects_metric_pinning_spec(self):
+        from repro import StreamingMcCatch
+
+        with pytest.raises(TypeError, match="pins a fit metric"):
+            StreamingMcCatch("mccatch?metric=manhattan")
+
+    def test_euclidean_metric_canonicalizes_away(self):
+        # behaviorally identical spellings must share one registry key
+        assert make_estimator("mccatch?metric=euclidean").spec == "mccatch"
+        # ... and behave identically too: the estimator is built from
+        # the canonical params, so no phantom metric pin survives
+        assert make_estimator("mccatch?metric=euclidean").metric is None
+
+    def test_metric_spec_vs_prepared_space(self, dataset):
+        est = make_estimator("mccatch?index=vptree&metric=manhattan")
+        with pytest.raises(TypeError, match="different metric"):
+            est.fit(MetricSpace(dataset))  # Euclidean space, manhattan spec
+        matching = est.fit(MetricSpace(dataset, "manhattan"))
+        raw = est.fit(dataset)
+        assert np.array_equal(matching.training_scores, raw.training_scores)
+
+
+class TestMcCatchServing:
+    def test_mmap_load_scores_bit_identical(self, dataset, batch, tmp_path):
+        model = make_estimator("mccatch?index=vptree").fit(dataset)
+        scores = model.score_batch(batch)
+        path = model.save(tmp_path / "mc.npz")
+        loaded = FittedModel.load(path, mmap=True)
+        assert isinstance(loaded, McCatchServingModel)
+        assert np.array_equal(loaded.score_batch(batch), scores)
+        assert np.array_equal(loaded.training_scores, model.training_scores)
+        # the data matrix is served straight off the archive
+        data = loaded.model.space.data
+        backing = data if isinstance(data, np.memmap) else data.base
+        assert isinstance(backing, np.memmap)
+
+    def test_score_details_exposes_flagged(self, dataset, batch):
+        model = make_estimator("mccatch?index=vptree").fit(dataset)
+        details = model.score_details(batch)
+        assert np.array_equal(details.scores, model.score_batch(batch))
+        assert batch.shape[0] - 1 in details.flagged  # the far [40,-40,0] row
+
+    def test_metric_data_supported(self):
+        from repro.metric.strings import levenshtein
+
+        names = ["SMITH", "SMYTH", "SMITT"] * 15 + ["XQWZKJY"]
+        model = make_estimator("mccatch").fit(names, levenshtein)
+        assert model.training_scores.shape == (len(names),)
+        assert model.score_batch(["SMITH", "QQQQQQQ"]).shape == (2,)
+
+    def test_baseline_estimator_rejects_metric(self, dataset):
+        from repro.metric.strings import levenshtein
+
+        with pytest.raises(TypeError, match="Euclidean"):
+            make_estimator("lof").fit(["a", "b"], levenshtein)
+
+    def test_baseline_estimator_rejects_non_euclidean_space(self, dataset):
+        # a manhattan MetricSpace must fail loudly, not silently score L2
+        with pytest.raises(TypeError, match="non-Euclidean"):
+            make_estimator("lof?k=5").fit(MetricSpace(dataset, "manhattan"))
+        model = make_estimator("lof?k=5").fit(MetricSpace(dataset))  # L2 fine
+        assert model.training_scores.shape == (dataset.shape[0],)
+
+
+class TestIndexMmapPersistence:
+    def test_load_index_mmap_counts_identical(self, dataset, tmp_path):
+        index = build_index(MetricSpace(dataset), kind="vptree")
+        path = save_index(index, tmp_path / "idx.npz")
+        plain = load_index(path)
+        mapped = load_index(path, mmap=True)
+        ids = np.arange(len(dataset))
+        radii = np.array([0.5, 1.0, 2.0])
+        assert np.array_equal(
+            mapped.count_within_many(ids, radii), plain.count_within_many(ids, radii)
+        )
+        backing = mapped.space.data if isinstance(mapped.space.data, np.memmap) \
+            else mapped.space.data.base
+        assert isinstance(backing, np.memmap)
+
+    def test_compressed_round_trips_but_rejects_mmap(self, dataset, tmp_path):
+        index = build_index(MetricSpace(dataset), kind="balltree")
+        path = save_index(index, tmp_path / "idx.npz", compressed=True)
+        loaded = load_index(path)  # materialized load still works
+        assert np.array_equal(
+            loaded.count_within(np.arange(10), 1.0),
+            index.count_within(np.arange(10), 1.0),
+        )
+        with pytest.raises(ValueError, match="compressed.*memory-mapped"):
+            load_index(path, mmap=True)
+
+    def test_unknown_model_format_rejected(self, tmp_path):
+        np.savez(tmp_path / "bogus.npz", format=np.str_("wat"))
+        with pytest.raises(ValueError, match="unsupported model format"):
+            load_model(tmp_path / "bogus.npz")
+
+
+class TestFitScoresGuards:
+    class _NaNDetector(BaseDetector):
+        name = "nan-det"
+
+        def _score(self, X):
+            scores = np.zeros(X.shape[0])
+            scores[0] = np.nan
+            return scores
+
+    class _InfDetector(BaseDetector):
+        name = "inf-det"
+
+        def _score(self, X):
+            scores = np.zeros(X.shape[0])
+            scores[-1] = np.inf
+            return scores
+
+    def test_nan_scores_rejected_with_detector_name(self):
+        with pytest.raises(RuntimeError, match=r"nan-det: 1 non-finite"):
+            self._NaNDetector().fit_scores(np.zeros((4, 2)))
+
+    def test_inf_scores_rejected(self):
+        with pytest.raises(RuntimeError, match=r"inf-det: 1 non-finite.*row 3"):
+            self._InfDetector().fit_scores(np.zeros((4, 2)))
