@@ -17,6 +17,35 @@ RESULTS_DIR = Path(__file__).parent / "results"
 #: Global knob: multiplies each bench's built-in dataset scale.
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
+#: Thread-count environment variables that shape BLAS/OpenMP behavior —
+#: recorded so speedup numbers can be interpreted on the machine that
+#: produced them.
+_THREAD_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+)
+
+
+def machine_info() -> dict:
+    """Core count + BLAS/thread settings, embedded in every BENCH json.
+
+    A 4x parallel speedup means something different on 1 core than on
+    16; every JSON artifact carries this block so the recorded curves
+    stay interpretable away from the machine that produced them.
+    """
+    usable = (
+        len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else None
+    )
+    return {
+        "cpu_count": os.cpu_count(),
+        "usable_cpus": usable,
+        "thread_env": {k: os.environ[k] for k in _THREAD_ENV_VARS if k in os.environ},
+        "bench_scale": BENCH_SCALE,
+    }
+
 
 def scaled(base: float, lo: float = 0.0, hi: float = 1.0) -> float:
     """A bench's built-in scale, adjusted by REPRO_BENCH_SCALE and clamped."""

@@ -27,7 +27,7 @@ import time
 
 import numpy as np
 
-from _common import RESULTS_DIR, format_table, scaled, write_result
+from _common import RESULTS_DIR, format_table, machine_info, scaled, write_result
 from repro.core.radii import define_radii
 from repro.engine import BatchQueryEngine
 from repro.index import build_index
@@ -107,6 +107,7 @@ def run() -> dict:
         "index": "vptree",
         "n_radii": N_RADII,
         "dataset": "uniform-2d",
+        "machine": machine_info(),
         "results": results,
     }
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -17,9 +17,11 @@ high-dimensional Uniform cases (whose expected slope is ~2 − 1/50 ≈
 
 from __future__ import annotations
 
-from _common import format_table, scaled, write_result
+from _common import format_table, machine_info, scaled, write_result
+from bench_parallel_walk import merge_into_results
 from repro import McCatch
 from repro.datasets import diagonal_line, uniform_cube
+from repro.engine import default_workers
 from repro.eval import runtime_sweep
 from repro.metric.fractal import correlation_dimension, expected_runtime_slope
 
@@ -45,8 +47,53 @@ CASES = [
 ]
 
 
+#: Worker count of the sharded sweep (capped by what the machine has).
+PARALLEL_WORKERS = min(4, default_workers())
+
+
+def _parallel_sweep_records() -> dict:
+    """Serial vs sharded full-fit runtime on the uniform-2d sweep.
+
+    The same Fig. 7 size ladder, fitted once with the serial batched
+    engine and once with ``engine_mode="parallel"`` over a flat-backed
+    VP-tree (the auto cKDTree has no arrays to share), recorded into
+    ``BENCH_parallel.json`` next to the machine block so the
+    serial-vs-sharded curve rides with the scalability artifact.
+    """
+    gen = CASES[0][1]  # uniform-2d
+    sizes = _sizes(CASES[0][3])
+    serial = runtime_sweep(
+        "uniform-2d-vptree-serial",
+        lambda n: McCatch(index="vptree").fit(gen(n)),
+        sizes,
+    )
+    sharded = runtime_sweep(
+        f"uniform-2d-vptree-parallel-{PARALLEL_WORKERS}w",
+        lambda n: McCatch(
+            index="vptree", engine_mode="parallel", workers=PARALLEL_WORKERS
+        ).fit(gen(n)),
+        sizes,
+    )
+    return {
+        "workers": PARALLEL_WORKERS,
+        "machine": machine_info(),
+        "serial_slope": round(serial.slope, 3),
+        "parallel_slope": round(sharded.slope, 3),
+        "points": [
+            {
+                "n": ps.n,
+                "serial_s": round(ps.seconds, 3),
+                "parallel_s": round(pp.seconds, 3),
+                "speedup": round(ps.seconds / pp.seconds, 2) if pp.seconds else None,
+            }
+            for ps, pp in zip(serial.points, sharded.points)
+        ],
+    }
+
+
 def bench_fig7_scalability(benchmark):
     sweeps = {}
+    parallel_record = {}
 
     def run():
         for label, gen, kind, max_n in CASES:
@@ -57,9 +104,11 @@ def bench_fig7_scalability(benchmark):
                 _sizes(max_n),
                 expected_slope=expected_runtime_slope(u),
             )
+        parallel_record.update(_parallel_sweep_records())
         return sweeps
 
     benchmark.pedantic(run, rounds=1, iterations=1)
+    merge_into_results({"fig7_parallel_sweep": parallel_record})
 
     rows = []
     for (label, _, kind, _), sweep in zip(CASES, sweeps.values()):

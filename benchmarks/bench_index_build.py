@@ -25,7 +25,7 @@ import time
 
 import numpy as np
 
-from _common import RESULTS_DIR, format_table, scaled, write_result
+from _common import RESULTS_DIR, format_table, machine_info, scaled, write_result
 from repro.index import BallTree, CoverTree, MTree, SlimTree, VPTree
 from repro.index.reference import ReferenceBallTree, ReferenceVPTree
 from repro.metric.base import MetricSpace
@@ -92,7 +92,12 @@ def run(sizes: list[int], repeats: int) -> dict:
                 rec["object_nodes"] = _object_node_count(ref_cls(space))
                 rec["speedup"] = object_s / flat_s if flat_s > 0 else float("inf")
             records.append(rec)
-    return {"bench": "index_build", "repeats": repeats, "records": records}
+    return {
+        "bench": "index_build",
+        "repeats": repeats,
+        "machine": machine_info(),
+        "records": records,
+    }
 
 
 def main() -> None:

@@ -27,7 +27,7 @@ import time
 
 import numpy as np
 
-from _common import RESULTS_DIR, format_table, scaled, write_result
+from _common import RESULTS_DIR, format_table, machine_info, scaled, write_result
 from repro.api import ModelRegistry, make_estimator
 
 BOOST = scaled(1.0, lo=0.02, hi=20.0)
@@ -101,6 +101,7 @@ def main() -> None:
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-registry-") as root:
         payload = run(sizes, args.repeats, root)
+    payload["machine"] = machine_info()
 
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "BENCH_serving.json").write_text(json.dumps(payload, indent=2) + "\n")

@@ -466,6 +466,10 @@ _MCCATCH_PARAMS = {
     "cmax": Param(int, None, attr="max_cardinality"),
     "index": Param(str, "auto", attr="index"),
     "engine": Param(str, "batched", attr="engine_mode"),
+    # parallel-engine pool size; None = the usable core count.  Only
+    # valid with engine=parallel (McCatch rejects the combination
+    # loudly otherwise), e.g. "mccatch?engine=parallel&workers=8".
+    "workers": Param(int, None),
     "t": Param(float, None, attr="transformation_cost"),
     "sparse": Param(bool, True, attr="sparse_focused"),
     # fit-time L_p metric name; lives on the estimator, not the McCatch

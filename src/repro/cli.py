@@ -66,6 +66,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="hyperparameter c as a fraction of n")
     detect.add_argument("--index", default="auto",
                         help="index kind backing the joins (default auto)")
+    detect.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="shard the range-count walks across N workers "
+                             "(engine_mode=parallel; needs a flat-backed "
+                             "index, so --index auto is promoted to vptree)")
     detect.add_argument("--top", type=int, default=20, help="rows of ranking to print")
     detect.add_argument("--save-json", metavar="PATH",
                         help="archive the full result as JSON")
@@ -117,6 +121,9 @@ def _build_parser() -> argparse.ArgumentParser:
     fit.add_argument("--index", default=None,
                      help="metric tree backing the model (default vptree; must "
                           "be flat-backed: vptree, balltree, covertree, mtree, slimtree)")
+    fit.add_argument("--workers", type=int, default=None, metavar="N",
+                     help="fit with the parallel engine on N workers (folds "
+                          "engine=parallel&workers=N into the McCatch spec)")
 
     score = sub.add_parser("score", help="score a held-out CSV against a saved model")
     score.add_argument("model",
@@ -190,11 +197,19 @@ def _fit(data, metric, detector: McCatch):
 
 def _cmd_detect(args) -> int:
     data, metric = _load_input(args.path, args.metric, args.delimiter)
+    index = args.index
+    if args.workers is not None and index == "auto":
+        # "auto" on Euclidean vectors picks the compiled cKDTree, which
+        # has no flat arrays to share across a pool — the one index
+        # choice --workers can never use.
+        index = "vptree"
     detector = McCatch(
         n_radii=args.n_radii,
         max_slope=args.max_slope,
         max_cardinality_fraction=args.max_cardinality_fraction,
-        index=args.index,
+        index=index,
+        engine_mode="parallel" if args.workers is not None else "batched",
+        workers=args.workers,
     )
     t0 = time.perf_counter()
     result = _fit(data, metric, detector)
@@ -327,6 +342,11 @@ def _resolve_fit_estimator(args):
                     "error: --metric applies only to McCatch specs "
                     f"(got {estimator.spec!r}; baselines are Euclidean-only)"
                 )
+            if args.workers is not None:
+                raise SystemExit(
+                    "error: --workers applies only to McCatch specs "
+                    f"(got {estimator.spec!r})"
+                )
             return estimator
         raw = parse_spec(args.spec)[1]
         spec = args.spec
@@ -346,6 +366,13 @@ def _resolve_fit_estimator(args):
                 )
         elif args.metric is not None:
             spec = _spec_with(spec, "metric", args.metric)
+        if args.workers is not None:
+            if "workers" in raw or "engine" in raw:
+                raise SystemExit(
+                    "error: --workers cannot be combined with a spec that "
+                    "already pins engine=/workers=...; pick one"
+                )
+            spec = _spec_with(_spec_with(spec, "engine", "parallel"), "workers", args.workers)
         return make_estimator(spec)
     spec = spec_of(McCatch(
         n_radii=args.n_radii if args.n_radii is not None else 15,
@@ -355,6 +382,8 @@ def _resolve_fit_estimator(args):
             if args.max_cardinality_fraction is not None else 0.1
         ),
         index=args.index or "vptree",
+        engine_mode="parallel" if args.workers is not None else "batched",
+        workers=args.workers,
     ))
     if args.metric is not None:
         spec = _spec_with(spec, "metric", args.metric)

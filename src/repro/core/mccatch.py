@@ -57,10 +57,17 @@ class McCatch:
     engine_mode:
         Execution plan for the neighborhood workloads:
         ``"batched"`` (default; single-descent multi-radius queries via
-        :class:`repro.engine.BatchQueryEngine`) or ``"per_point"``
-        (the reference one-query-per-radius plan).  Results are
-        bit-for-bit identical; only wall-clock differs.  Kept for
-        differential testing and ablation.
+        :class:`repro.engine.BatchQueryEngine`), ``"per_point"`` (the
+        reference one-query-per-radius plan), or ``"parallel"`` (the
+        batched walks sharded across a persistent worker pool — see
+        :class:`repro.engine.ShardedWalkExecutor`; requires a
+        flat-backed ``index`` such as ``"vptree"`` to actually fan
+        out).  Results are bit-for-bit identical across all modes;
+        only wall-clock differs.
+    workers:
+        Worker-pool size for ``engine_mode="parallel"`` (default: the
+        usable core count).  Setting it with a serial engine mode is
+        an error rather than a silent no-op.
     transformation_cost:
         The ``t`` of Def. 7.  ``None`` (default) derives it from the
         data: dimensionality for vectors, the word formula for strings,
@@ -91,6 +98,7 @@ class McCatch:
         max_cardinality: int | None = None,
         index: str = "auto",
         engine_mode: str = "batched",
+        workers: int | None = None,
         transformation_cost: float | None = None,
         sparse_focused: bool = True,
     ):
@@ -106,6 +114,14 @@ class McCatch:
         self.max_cardinality = max_cardinality
         self.index = index
         self.engine_mode = check_engine_mode(engine_mode)
+        if workers is not None:
+            workers = check_positive_int(workers, name="workers")
+            if self.engine_mode != "parallel":
+                raise ValueError(
+                    "workers= only applies to engine_mode='parallel' "
+                    f"(got engine_mode={self.engine_mode!r})"
+                )
+        self.workers = workers
         self.transformation_cost = transformation_cost
         self.sparse_focused = bool(sparse_focused)
 
@@ -148,6 +164,23 @@ class McCatch:
 
         # Step I: tree + radii (Alg. 1 lines 1-3).
         tree = build_index(space, kind=self.index)
+        if self.engine_mode == "parallel":
+            from repro.engine.parallel import supports_sharding
+
+            # A worker pool can only shard FlatTree storage.  Falling
+            # back to the serial plan here would make workers= a silent
+            # no-op (and auto-swapping the index would break the
+            # "modes differ only in wall-clock" contract, since the
+            # index choice shapes the radius ladder) — so fail loudly.
+            if not supports_sharding(tree):
+                raise ValueError(
+                    "engine_mode='parallel' needs a flat-backed index to "
+                    f"shard across workers, but index={self.index!r} built "
+                    f"a {type(tree).__name__}; pick one of vptree / "
+                    "balltree / covertree / mtree / slimtree (the "
+                    "Euclidean 'auto' default selects scipy's cKDTree, "
+                    "which has no shareable arrays)"
+                )
         if tree.diameter_estimate() <= 0.0:
             # Single element, or every element coincides: no radius
             # ladder exists and nothing can be anomalous.  Return the
@@ -164,6 +197,7 @@ class McCatch:
             max_cardinality=c,
             sparse_focused=self.sparse_focused,
             engine_mode=self.engine_mode,
+            workers=self.workers,
         )
 
         # Step III: spot microclusters (Alg. 3).
@@ -172,13 +206,14 @@ class McCatch:
         outliers = np.nonzero(mask)[0]
         clusters = spot_microclusters(
             space, oracle, cutoff, outliers,
-            index_kind=self.index, engine_mode=self.engine_mode,
+            index_kind=self.index, engine_mode=self.engine_mode, workers=self.workers,
         )
 
         # Step IV: anomaly scores (Alg. 4).
         microclusters, point_scores = score_microclusters(
             space, clusters, oracle,
-            transformation_cost=t, index_kind=self.index, engine_mode=self.engine_mode,
+            transformation_cost=t, index_kind=self.index,
+            engine_mode=self.engine_mode, workers=self.workers,
         )
         result = McCatchResult(
             microclusters=microclusters,

@@ -23,6 +23,7 @@ def build_oracle_plot(
     max_cardinality: int,
     sparse_focused: bool = True,
     engine_mode: str = "batched",
+    workers: int | None = None,
 ) -> OraclePlot:
     """Alg. 2: count neighbors, find plateaus, mount the 'Oracle' plot.
 
@@ -40,10 +41,13 @@ def build_oracle_plot(
         identical where it matters.
     engine_mode:
         Execution plan (see :class:`BatchQueryEngine`): ``"batched"``
-        (default) or ``"per_point"`` — results are bit-for-bit
-        identical, only wall-clock differs.
+        (default), ``"per_point"``, or ``"parallel"`` — results are
+        bit-for-bit identical, only wall-clock differs.
+    workers:
+        Worker-pool size for ``engine_mode="parallel"`` (default: the
+        usable core count); ignored by the serial modes.
     """
-    engine = BatchQueryEngine(index, mode=engine_mode)
+    engine = BatchQueryEngine(index, mode=engine_mode, workers=workers)
     counts = engine.self_join_counts(
         radii,
         max_cardinality=max_cardinality,

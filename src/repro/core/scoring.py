@@ -27,6 +27,7 @@ def nearest_inlier_distances(
     *,
     index_kind: str = "auto",
     engine_mode: str = "batched",
+    workers: int | None = None,
 ) -> np.ndarray:
     """Per-point distance g_i to the nearest inlier (Alg. 4 lines 1-15).
 
@@ -54,7 +55,7 @@ def nearest_inlier_distances(
         return g
 
     inlier_tree = build_index(space, inlier_ids, kind=index_kind)
-    engine = BatchQueryEngine(inlier_tree, mode=engine_mode)
+    engine = BatchQueryEngine(inlier_tree, mode=engine_mode, workers=workers)
     first = engine.first_nonempty_radius(outliers, radii)
     g[outliers] = radii[-1]  # default: no inlier neighbor within l
     # First radius with an inlier neighbor: g is one rung below.
@@ -113,6 +114,7 @@ def score_microclusters(
     transformation_cost: float,
     index_kind: str = "auto",
     engine_mode: str = "batched",
+    workers: int | None = None,
 ) -> tuple[list[Microcluster], np.ndarray]:
     """Alg. 4: scores per microcluster (ranked) and per point.
 
@@ -134,7 +136,8 @@ def score_microclusters(
         else np.array([], dtype=np.intp)
     )
     g = nearest_inlier_distances(
-        space, outliers, oracle, index_kind=index_kind, engine_mode=engine_mode
+        space, outliers, oracle,
+        index_kind=index_kind, engine_mode=engine_mode, workers=workers,
     )
 
     microclusters: list[Microcluster] = []

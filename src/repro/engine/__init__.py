@@ -11,6 +11,11 @@ brute-force path), applies the paper's Sec. IV-G scheduling principles,
 and keeps a ``mode="per_point"`` reference executor that reproduces the
 historical one-query-at-a-time plan bit for bit — the differential
 tests in ``tests/test_engine.py`` hold the two to exact equality.
+
+``mode="parallel"`` layers :mod:`repro.engine.parallel` on top: the
+multi-radius walks shard across a persistent worker pool — threads
+over the shared flat arrays for vector metrics, mmap-attached
+processes for object metrics — with counts still bit-identical.
 """
 
 from repro.engine.executor import (
@@ -19,6 +24,7 @@ from repro.engine.executor import (
     BatchQueryEngine,
     check_engine_mode,
 )
+from repro.engine.parallel import ShardedWalkExecutor, default_workers, supports_sharding
 from repro.engine.neighbors import (
     count_within_to,
     knn_distances,
@@ -29,10 +35,13 @@ from repro.engine.neighbors import (
 __all__ = [
     "BatchQueryEngine",
     "ENGINE_MODES",
+    "ShardedWalkExecutor",
     "UNKNOWN_COUNT",
     "check_engine_mode",
     "count_within_to",
+    "default_workers",
     "knn_distances",
     "knn_to",
     "nearest_distances_to",
+    "supports_sharding",
 ]

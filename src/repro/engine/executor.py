@@ -29,6 +29,16 @@ Two execution modes, selected at construction:
   per radius with the literal active-set recursion.  Kept for
   differential testing and for the ablation benches that measure what
   batching buys.
+- ``"parallel"`` — the batched plan with the multi-radius walks
+  sharded across a persistent worker pool
+  (:class:`repro.engine.parallel.ShardedWalkExecutor`): the query-id
+  set splits into contiguous shards, every worker walks its shards
+  over the *same* flat arrays (threads share them in place; process
+  workers attach to an mmap artifact), and the per-shard count
+  matrices stack back in shard order.  Counts are bit-identical to
+  ``"batched"`` for any worker count.  Requires a flat-backed index;
+  anything else (scipy's cKDTree, brute force) falls back to the
+  serial batched plan.
 """
 
 from __future__ import annotations
@@ -40,7 +50,7 @@ import numpy as np
 from repro.index.base import UNKNOWN_COUNT, MetricIndex, check_radii_ascending
 
 #: Execution modes understood by :class:`BatchQueryEngine`.
-ENGINE_MODES = ("batched", "per_point")
+ENGINE_MODES = ("batched", "per_point", "parallel")
 
 
 def check_engine_mode(mode: str) -> str:
@@ -59,22 +69,50 @@ class BatchQueryEngine:
         Any index from :mod:`repro.index`; the engine only relies on
         the :class:`MetricIndex` protocol.
     mode:
-        ``"batched"`` (default) or ``"per_point"`` — see module
-        docstring.  Both modes produce identical results; only the
-        execution plan differs.
+        ``"batched"`` (default), ``"per_point"``, or ``"parallel"`` —
+        see module docstring.  All modes produce identical results;
+        only the execution plan differs.
     radius_block_size:
         How many ladder rungs each batched walk answers before the
-        sparse-focused drop is applied (batched mode only).  Larger
-        blocks share more per-walk work; smaller blocks drop dense
-        points sooner.  The default (4) keeps both effects.
+        sparse-focused drop is applied (batched/parallel modes only).
+        Larger blocks share more per-walk work; smaller blocks drop
+        dense points sooner.  The default (4) keeps both effects.
+    workers, shards, backend:
+        Worker-pool size, shard count, and pool backend for
+        ``mode="parallel"`` (defaults: the usable core count, a few
+        shards per worker, and thread-vs-process by metric type — see
+        :class:`~repro.engine.parallel.ShardedWalkExecutor`).
+        Ignored by the serial modes.
     """
 
-    def __init__(self, index: MetricIndex, *, mode: str = "batched", radius_block_size: int = 4):
+    def __init__(
+        self,
+        index: MetricIndex,
+        *,
+        mode: str = "batched",
+        radius_block_size: int = 4,
+        workers: int | None = None,
+        shards: int | None = None,
+        backend: str = "auto",
+    ):
         self.index = index
         self.mode = check_engine_mode(mode)
         if radius_block_size < 1:
             raise ValueError(f"radius_block_size must be >= 1, got {radius_block_size}")
         self.radius_block_size = int(radius_block_size)
+        self.workers = workers
+        self._sharded = None
+        if self.mode == "parallel":
+            from repro.engine.parallel import ShardedWalkExecutor, supports_sharding
+
+            # Parallel mode needs FlatTree storage to share across the
+            # pool; for any other index the batched serial plan is the
+            # best this engine can do, so fall back to it rather than
+            # failing a workload that would still run correctly.
+            if supports_sharding(index):
+                self._sharded = ShardedWalkExecutor(
+                    index, workers=workers, shards=shards, backend=backend
+                )
         # Flat-backed trees (anything carrying a FlatTree, including a
         # loaded FrozenIndex) override count_within_many with one
         # node-major walk over their arrays, so the batched schedule
@@ -104,11 +142,16 @@ class BatchQueryEngine:
 
         No scheduling principles applied — every entry is computed.
         Batched mode issues one multi-radius descent per query;
+        parallel mode shards those descents across the worker pool;
         per-point mode stacks one ``count_within`` pass per radius.
         """
         query_ids = np.asarray(query_ids, dtype=np.intp)
         radii = check_radii_ascending(radii)
-        if self.mode == "batched":
+        if self._sharded is not None:
+            return np.asarray(
+                self._sharded.count_within_many(query_ids, radii), dtype=np.int64
+            )
+        if self.mode != "per_point":
             return np.asarray(
                 self.index.count_within_many(query_ids, radii), dtype=np.int64
             )
@@ -238,7 +281,7 @@ class BatchQueryEngine:
         first = np.full(query_ids.size, -1, dtype=np.intp)
         if query_ids.size == 0:
             return first
-        if self.mode == "batched" and self._walks_batched:
+        if self.mode != "per_point" and self._walks_batched:
             found = self.multi_radius_counts(query_ids, radii) > 0
             has_any = found.any(axis=1)
             first[has_any] = np.argmax(found[has_any], axis=1)

@@ -93,26 +93,64 @@ class MetricIndex(ABC):
             out[:, e] = self.count_within(query_ids, float(radii[e]))
         return out
 
+    #: Query-chunk size bounding the temporary distance-block footprint
+    #: of the generic bulk implementations (pairs_within here, the
+    #: count queries in :class:`~repro.index.bruteforce.BruteForceIndex`).
+    _CHUNK = 512
+
     def pairs_within(self, radius: float) -> list[tuple[int, int]]:
         """All unordered indexed pairs ``(i, j)``, ``i < j``, within ``radius``.
 
-        Default implementation: one bulk distance row per element
-        against its successors, with the qualifying partners selected
-        and ordered by array ops (no per-pair Python loop).  Only used
-        on small sets (the outliers of Alg. 3), so the O(n^2) distance
-        cost is fine; subclasses may still override.
+        Default implementation, by metric type: vector spaces use
+        chunked bulk blocks — each chunk of elements measured against
+        itself and its successors in one BLAS/einsum
+        ``distances_among`` call, qualifying pairs selected and
+        ordered by array ops, no per-element Python loop.  Object
+        spaces keep one bulk row per element against its successors:
+        their "bulk" kernel is the honest per-pair metric loop, so the
+        triangle-only row form is what minimizes metric evaluations.
+        Only used on small sets (the outliers of Alg. 3), so the
+        O(n^2) distance cost is fine; subclasses may still override.
         """
         pairs: list[tuple[int, int]] = []
         ids = self.ids
-        for a in range(ids.size - 1):
-            i = int(ids[a])
-            d = self.space.distances(i, ids[a + 1 :])
-            near = ids[a + 1 :][d <= radius]
-            if near.size:
-                lo = np.minimum(near, i)
-                hi = np.maximum(near, i)
+        if not self.space.is_vector:
+            for a in range(ids.size - 1):
+                i = int(ids[a])
+                d = self.space.distances(i, ids[a + 1 :])
+                near = ids[a + 1 :][d <= radius]
+                if near.size:
+                    lo = np.minimum(near, i)
+                    hi = np.maximum(near, i)
+                    pairs.extend(zip(lo.tolist(), hi.tolist()))
+            return pairs
+        for start in range(0, ids.size - 1, self._CHUNK):
+            block = ids[start : start + self._CHUNK]
+            rest = ids[start:]  # block members and their successors
+            dm = self.space.distances_among(block, rest)
+            rows, cols = np.nonzero(dm <= radius)
+            keep = cols > rows  # strict upper triangle (both sides start at `start`)
+            if keep.any():
+                bi, bj = block[rows[keep]], rest[cols[keep]]
+                lo = np.minimum(bi, bj)
+                hi = np.maximum(bi, bj)
                 pairs.extend(zip(lo.tolist(), hi.tolist()))
         return pairs
+
+    def sharded(self, *, workers: int | None = None, shards: int | None = None,
+                backend: str = "auto"):
+        """A multi-worker executor over this index (flat-backed only).
+
+        The ``workers=`` path of the index layer: returns a
+        :class:`repro.engine.parallel.ShardedWalkExecutor` whose
+        ``count_within`` / ``count_within_many`` shard the query set
+        across a persistent worker pool with bit-identical counts.
+        Raises ``TypeError`` for indexes without :class:`FlatTree`
+        storage (brute force, kd-/R-trees, LAESA).
+        """
+        from repro.engine.parallel import ShardedWalkExecutor
+
+        return ShardedWalkExecutor(self, workers=workers, shards=shards, backend=backend)
 
     def diameter_estimate(self) -> float:
         """Estimated diameter of the indexed elements (Alg. 1 line 2).

@@ -23,9 +23,11 @@ from repro.metric.base import MetricSpace
 
 
 class BruteForceIndex(MetricIndex):
-    """Exhaustive range counting over a MetricSpace subset."""
+    """Exhaustive range counting over a MetricSpace subset.
 
-    _CHUNK = 512  # bounds the temporary distance-matrix footprint
+    Chunk size comes from ``MetricIndex._CHUNK``; ``pairs_within`` is
+    the (equally chunked) base implementation.
+    """
 
     def __init__(self, space: MetricSpace, ids=None):
         super().__init__(space, ids)
@@ -54,17 +56,3 @@ class BruteForceIndex(MetricIndex):
                 counts[pos : pos + len(chunk), e] = (dm <= radii[e]).sum(axis=1)
             pos += len(chunk)
         return counts
-
-    def pairs_within(self, radius: float) -> list[tuple[int, int]]:
-        """Blocked upper-triangle scan; emits ``(min_id, max_id)`` pairs."""
-        ids = self.ids
-        pairs: list[tuple[int, int]] = []
-        for start in range(0, ids.size, self._CHUNK):
-            block = ids[start : start + self._CHUNK]
-            dm = self.space.distances_among(block, ids)
-            rows, cols = np.nonzero(dm <= radius)
-            keep = cols > rows + start  # strict upper triangle, by position
-            for r, c in zip(rows[keep], cols[keep]):
-                i, j = int(ids[start + int(r)]), int(ids[int(c)])
-                pairs.append((i, j) if i < j else (j, i))
-        return pairs

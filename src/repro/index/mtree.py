@@ -180,82 +180,130 @@ class MTree(MetricIndex):
         self._distance_calls += 1
         return self.space.distance(i, j)
 
+    def _d_block(self, left, right) -> np.ndarray:
+        """One bulk distance block, counted honestly.
+
+        The insert hot loops route through here instead of per-entry
+        ``_d`` calls: one ``distances_among`` block per decision.
+        Argument order is preserved (rows are the same "left" side the
+        scalar calls used), and the einsum bulk kernel is bitwise
+        shape-independent, so every entry equals the scalar ``_d``
+        value it replaces — tree structure is unchanged, only the
+        Python-loop overhead is gone.
+        """
+        left = np.asarray(left, dtype=np.intp)
+        right = np.asarray(right, dtype=np.intp)
+        self._distance_calls += int(left.size) * int(right.size)
+        return self.space.distances_among(left, right)
+
+    def _d_block_sym(self, pivot_ids) -> np.ndarray:
+        """Symmetric pairwise block over one pivot set.
+
+        Vector spaces take the full-square bulk call (the kernel is
+        one broadcast either way); object spaces — whose "bulk" is an
+        honest per-pair metric loop — evaluate each unordered pair
+        once and mirror, so going wide never doubles the metric cost
+        the scalar loops used to pay.
+        """
+        ids = np.asarray(pivot_ids, dtype=np.intp)
+        if self.space.is_vector:
+            return self._d_block(ids, ids)
+        m = ids.size
+        self._distance_calls += m * (m - 1) // 2
+        dm = np.zeros((m, m), dtype=np.float64)
+        for a in range(m - 1):
+            row = self.space.distances(int(ids[a]), ids[a + 1 :])
+            dm[a, a + 1 :] = row
+            dm[a + 1 :, a] = row
+        return dm
+
     # -- insertion ----------------------------------------------------------
 
     def _insert(self, obj: int) -> None:
         path: list[tuple[_Node, _Entry | None]] = []
         node = self.root
         parent_entry: _Entry | None = None
+        d_parent = 0.0
         while not node.is_leaf:
             path.append((node, parent_entry))
-            best = self._choose_subtree(node, obj)
-            d = self._d(obj, best.pivot_id)
-            if d > best.radius:
-                best.radius = d  # enlarge covering radius on the way down
+            best, d_parent = self._choose_subtree(node, obj)
+            if d_parent > best.radius:
+                best.radius = d_parent  # enlarge covering radius on the way down
             best.size += 1
             parent_entry = best
             node = best.subtree  # type: ignore[assignment]
         entry = _Entry(obj)
         if parent_entry is not None:
-            entry.d_parent = self._d(obj, parent_entry.pivot_id)
+            # the distance to the chosen pivot fell out of subtree
+            # selection already — no second metric evaluation
+            entry.d_parent = d_parent
         node.entries.append(entry)
         if len(node.entries) > self.capacity:
             self._split(node, path, parent_entry)
 
-    def _choose_subtree(self, node: _Node, obj: int) -> _Entry:
+    def _choose_subtree(self, node: _Node, obj: int) -> tuple[_Entry, float]:
         """M-tree heuristic: prefer a covering entry at minimum distance,
-        otherwise the entry needing the least radius enlargement."""
-        best: _Entry | None = None
-        best_key = (1, np.inf)  # (0 if covering else 1, distance or enlargement)
-        for entry in node.entries:
-            d = self._d(obj, entry.pivot_id)
-            key = (0, d) if d <= entry.radius else (1, d - entry.radius)
-            if key < best_key:
-                best_key = key
-                best = entry
-        assert best is not None
-        return best
+        otherwise the entry needing the least radius enlargement.
+
+        One bulk block measures ``obj`` against every entry pivot at
+        once (the insert hot loop); returns the chosen entry and the
+        distance to its pivot.  First-minimum tie-breaking matches the
+        historical per-entry scan.
+        """
+        entries = node.entries
+        d = self._d_block([obj], [e.pivot_id for e in entries])[0]
+        radii = np.array([e.radius for e in entries], dtype=np.float64)
+        covering = np.nonzero(d <= radii)[0]
+        if covering.size:
+            k = int(covering[np.argmin(d[covering])])
+        else:
+            k = int(np.argmin(d - radii))
+        return entries[k], float(d[k])
 
     # -- splitting ----------------------------------------------------------
 
     def _promote(self, entries: list[_Entry]) -> tuple[int, int]:
         """Pick two pivots.  Sampled mM_RAD: among candidate pairs, take
-        the one minimizing the larger covering radius."""
+        the one minimizing the larger covering radius.
+
+        One ``(m, limit)`` bulk block measures every entry pivot
+        against every candidate pivot; each candidate pair is then
+        scored by array reductions over its two columns.
+        """
         m = len(entries)
-        candidates: list[tuple[int, int]] = []
         limit = min(m, 8)
+        pivots = [e.pivot_id for e in entries]
+        radii = np.array([e.radius for e in entries], dtype=np.float64)
+        # cover[k, c] = d(entries[k], candidate c) + entries[k].radius
+        cover = self._d_block(pivots, pivots[:limit]) + radii[:, None]
+        best_pair = (0, 1)
+        best_score = np.inf
         for a in range(limit):
             for b in range(a + 1, limit):
-                candidates.append((a, b))
-        best_pair = candidates[0]
-        best_score = np.inf
-        for a, b in candidates:
-            pa, pb = entries[a].pivot_id, entries[b].pivot_id
-            ra = rb = 0.0
-            for e in entries:
-                da = self._d(e.pivot_id, pa) + e.radius
-                db = self._d(e.pivot_id, pb) + e.radius
-                if da <= db:
-                    ra = max(ra, da)
-                else:
-                    rb = max(rb, db)
-            score = max(ra, rb)
-            if score < best_score:
-                best_score = score
-                best_pair = (a, b)
+                to_a = cover[:, a] <= cover[:, b]
+                ra = cover[to_a, a].max() if to_a.any() else 0.0
+                rb = cover[~to_a, b].max() if not to_a.all() else 0.0
+                score = max(float(ra), float(rb))
+                if score < best_score:
+                    best_score = score
+                    best_pair = (a, b)
         return best_pair
 
     def _partition(
         self, entries: list[_Entry], pa: int, pb: int
     ) -> tuple[list[_Entry], list[_Entry], float, float]:
-        """Generalized-hyperplane partition around the two pivots."""
+        """Generalized-hyperplane partition around the two pivots.
+
+        One ``(m, 2)`` bulk block replaces the two per-entry distance
+        calls; the assignment rule (ties go left) is unchanged.
+        """
+        D = self._d_block([e.pivot_id for e in entries], [pa, pb])
         left: list[_Entry] = []
         right: list[_Entry] = []
         ra = rb = 0.0
-        for e in entries:
-            da = self._d(e.pivot_id, pa)
-            db = self._d(e.pivot_id, pb)
-            if (da, 0) <= (db, 1):
+        for k, e in enumerate(entries):
+            da, db = float(D[k, 0]), float(D[k, 1])
+            if da <= db:
                 e.d_parent = da
                 left.append(e)
                 ra = max(ra, da + e.radius)
@@ -280,16 +328,19 @@ class MTree(MetricIndex):
             # the hyperplane partition one-sided; an empty *internal* node
             # would later break subtree choice.  Fall back to a balanced
             # split by distance to pa (ties broken by list order).
-            by_da = sorted(entries, key=lambda e: self._d(e.pivot_id, pa))
-            half = len(by_da) // 2
-            left, right = by_da[:half], by_da[half:]
+            d_pa = self._d_block([e.pivot_id for e in entries], [pa])[:, 0]
+            order = np.argsort(d_pa, kind="stable")  # list order on ties
+            half = len(entries) // 2
+            left = [entries[int(k)] for k in order[:half]]
+            right = [entries[int(k)] for k in order[half:]]
             pb = right[0].pivot_id
             ra = rb = 0.0
-            for e in left:
-                e.d_parent = self._d(e.pivot_id, pa)
+            for e, k in zip(left, order[:half]):
+                e.d_parent = float(d_pa[int(k)])
                 ra = max(ra, e.d_parent + e.radius)
-            for e in right:
-                e.d_parent = self._d(e.pivot_id, pb)
+            d_pb = self._d_block([e.pivot_id for e in right], [pb])[:, 0]
+            for n_r, e in enumerate(right):
+                e.d_parent = float(d_pb[n_r])
                 rb = max(rb, e.d_parent + e.radius)
         left_node = _Node(node.is_leaf)
         left_node.entries = left
@@ -367,13 +418,10 @@ class MTree(MetricIndex):
         entries = self.root.entries
         if len(entries) == 1:
             return 2.0 * entries[0].radius
-        best = 0.0
-        for a in range(len(entries)):
-            for b in range(a + 1, len(entries)):
-                ea, eb = entries[a], entries[b]
-                d = self._d(ea.pivot_id, eb.pivot_id) + ea.radius + eb.radius
-                best = max(best, d)
-        return best
+        pivots = [e.pivot_id for e in entries]
+        radii = np.array([e.radius for e in entries], dtype=np.float64)
+        spans = self._d_block_sym(pivots) + radii[:, None] + radii[None, :]
+        return float(np.max(np.triu(spans, k=1)))
 
     @property
     def distance_calls(self) -> int:

@@ -33,12 +33,9 @@ class SlimTree(MTree):
     def _split_groups(self, entries: list[_Entry]) -> tuple[list[int], list[int]]:
         """Partition entry indices by removing the longest MST edge."""
         m = len(entries)
-        dm = np.empty((m, m), dtype=np.float64)
-        for a in range(m):
-            dm[a, a] = 0.0
-            for b in range(a + 1, m):
-                d = self._d(entries[a].pivot_id, entries[b].pivot_id)
-                dm[a, b] = dm[b, a] = d
+        # One symmetric block instead of the m(m-1)/2-call Python loop
+        # (object spaces still pay each unordered pair exactly once).
+        dm = self._d_block_sym([e.pivot_id for e in entries])
         # Prim's algorithm, recording the edges as they are added.
         in_tree = np.zeros(m, dtype=bool)
         in_tree[0] = True
@@ -81,19 +78,22 @@ class SlimTree(MTree):
         def make_node(group: list[int]) -> tuple[_Entry, _Node]:
             members = [entries[i] for i in group]
             # Representative: the member minimizing the resulting radius.
-            best_pivot, best_radius = members[0].pivot_id, np.inf
-            for cand in members:
-                radius = 0.0
-                for e in members:
-                    radius = max(radius, self._d(e.pivot_id, cand.pivot_id) + e.radius)
-                if radius < best_radius:
-                    best_radius = radius
-                    best_pivot = cand.pivot_id
+            # One (k, k) bulk block scores every candidate pivot at once;
+            # first-minimum selection matches the historical scan.
+            pivots = [e.pivot_id for e in members]
+            radii = np.array([e.radius for e in members], dtype=np.float64)
+            D = self._d_block_sym(pivots)
+            per_candidate = (D + radii[:, None]).max(axis=0)  # worst member
+            k = int(np.argmin(per_candidate))
+            best_pivot = members[k].pivot_id
+            best_radius = float(per_candidate[k])
             child = _Node(node.is_leaf)
             child.entries = members
-            for e in members:
-                e.d_parent = self._d(e.pivot_id, best_pivot)
-            return _Entry(best_pivot, float(best_radius), child), child
+            for n_e, e in enumerate(members):
+                # the raw block value: bit-exact d(e, best_pivot), the
+                # quantity the walk's parent-distance filter relies on
+                e.d_parent = float(D[n_e, k])
+            return _Entry(best_pivot, best_radius, child), child
 
         ea, _ = make_node(group_a)
         eb, _ = make_node(group_b)
