@@ -52,10 +52,22 @@ def scaled(base: float, lo: float = 0.0, hi: float = 1.0) -> float:
     return min(hi, max(lo, base * BENCH_SCALE))
 
 
+def results_path(name: str) -> Path:
+    """The path of one artifact under ``benchmarks/results/``.
+
+    Creates the results directory on demand (``parents=True`` so a
+    bench run from a fresh checkout — or a CI job that wiped the tree —
+    never trips over a missing directory).  Every bench should route
+    its JSON/text writes through here instead of touching
+    :data:`RESULTS_DIR` directly.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR / name
+
+
 def write_result(name: str, text: str) -> Path:
     """Persist a table under benchmarks/results/ and echo it to stdout."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / f"{name}.txt"
+    path = results_path(f"{name}.txt")
     path.write_text(text + "\n")
     print(text)
     return path

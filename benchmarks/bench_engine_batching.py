@@ -27,7 +27,7 @@ import time
 
 import numpy as np
 
-from _common import RESULTS_DIR, format_table, machine_info, scaled, write_result
+from _common import format_table, machine_info, results_path, scaled, write_result
 from repro.core.radii import define_radii
 from repro.engine import BatchQueryEngine
 from repro.index import build_index
@@ -110,8 +110,7 @@ def run() -> dict:
         "machine": machine_info(),
         "results": results,
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_engine.json").write_text(json.dumps(payload, indent=2) + "\n")
+    results_path("BENCH_engine.json").write_text(json.dumps(payload, indent=2) + "\n")
     rows = [
         [
             r["n"],

@@ -1,0 +1,149 @@
+"""Level-synchronous vs node-major stack walk: single-core SELFJOINC.
+
+Measures the dispatch-overhead claim the level walk rests on: the same
+multi-radius range counting (every point counted at every radius of
+the ladder — SELFJOINC, Alg. 2) executed by the node-major stack walk
+(:func:`repro.index.base.frontier_count_walk`, one set of NumPy
+dispatches per visited node) and by the level-synchronous walk
+(:func:`repro.index.base.level_count_walk`, one grouped set per tree
+depth).  Counts are asserted bit-identical before any time is
+recorded, and both walks' dispatch counters ride along in the JSON —
+``steps`` is depth for the level walk and visited-node count for the
+stack walk, so the per-depth vs per-node contrast is in the artifact,
+not just the prose.  Results land in
+``benchmarks/results/BENCH_walk.json`` (plus a text table) with the
+machine block (:func:`_common.machine_info`); the acceptance target is
+>=2x single-core at n=50k on 2-d vptree.
+
+Run:  python benchmarks/bench_frontier_walk.py [--n N ...]
+          [--repeats K] [--index KIND]
+(the CI smoke step runs one tiny configuration; REPRO_BENCH_SCALE
+multiplies the default sizes as usual.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from _common import format_table, machine_info, results_path, scaled, write_result
+from repro.core.radii import define_radii
+from repro.index import build_index
+from repro.index.base import frontier_count_walk, level_count_walk
+from repro.metric.base import MetricSpace
+
+BOOST = scaled(1.0, lo=0.02, hi=20.0)
+
+DEFAULT_SIZES = [int(10_000 * BOOST), int(50_000 * BOOST)]
+N_RADII = 15
+
+#: Dispatch counters both walks accumulate (see ``_WALK_STAT_KEYS``).
+OP_KEYS = ("steps", "entries", "distance_calls", "searchsorted_calls", "scatter_calls")
+
+
+def _dataset(n: int) -> MetricSpace:
+    rng = np.random.default_rng(0)
+    return MetricSpace(rng.normal(size=(n, 2)))
+
+
+def _best(f, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        f()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def run(sizes: list[int], repeats: int, kind: str) -> dict:
+    records = []
+    for n in sizes:
+        space = _dataset(n)
+        index = build_index(space, kind=kind)
+        radii = define_radii(index, N_RADII)
+        flat, ids = index.flat, index.ids
+
+        stack_ops: dict = {}
+        level_ops: dict = {}
+        expected = frontier_count_walk(space, ids, radii, flat, stats=stack_ops)
+        counts = level_count_walk(space, ids, radii, flat, stats=level_ops)
+        assert np.array_equal(counts, expected), (
+            f"level walk diverged from the stack walk at n={n}"
+        )
+
+        stack_s = _best(lambda: frontier_count_walk(space, ids, radii, flat), repeats)
+        level_s = _best(lambda: level_count_walk(space, ids, radii, flat), repeats)
+        records.append(
+            {
+                "n": n,
+                "index": kind,
+                "stack_s": round(stack_s, 4),
+                "level_s": round(level_s, 4),
+                "speedup": round(stack_s / level_s, 2) if level_s > 0 else None,
+                # per-node (stack) vs per-depth (level) dispatch counts
+                "stack_ops": {k: stack_ops[k] for k in OP_KEYS},
+                "level_ops": {k: level_ops[k] for k in OP_KEYS},
+            }
+        )
+    return {
+        "bench": "frontier_walk",
+        "workload": "SELFJOINC",
+        "n_radii": N_RADII,
+        "dataset": "gaussian-2d",
+        "repeats": repeats,
+        "machine": machine_info(),
+        "records": records,
+    }
+
+
+def merge_into_results(payload: dict) -> None:
+    """Write BENCH_walk.json, preserving sections other runs recorded."""
+    path = results_path("BENCH_walk.json")
+    merged = {}
+    if path.is_file():
+        try:
+            merged = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            merged = {}
+    merged.update(payload)
+    path.write_text(json.dumps(merged, indent=2) + "\n")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, nargs="*", default=None,
+                        help=f"dataset sizes (default {DEFAULT_SIZES})")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats, best-of (default 3)")
+    parser.add_argument("--index", default="vptree",
+                        help="flat-backed index kind (default vptree)")
+    args = parser.parse_args()
+
+    payload = run(args.n or DEFAULT_SIZES, args.repeats, args.index)
+    merge_into_results({"frontier_walk": payload})
+    rows = [
+        [
+            r["n"],
+            f"{r['stack_s'] * 1000:.1f}",
+            f"{r['level_s'] * 1000:.1f}",
+            f"{r['speedup']:.2f}x" if r["speedup"] is not None else "n/a",
+            r["stack_ops"]["steps"],
+            r["level_ops"]["steps"],
+        ]
+        for r in payload["records"]
+    ]
+    write_result(
+        "frontier_walk",
+        format_table(
+            ["n", "stack ms", "level ms", "speedup", "node visits", "depth steps"],
+            rows,
+            title="Level-synchronous walk - SELFJOINC single-core wall-clock",
+        ),
+    )
+
+
+if __name__ == "__main__":
+    main()

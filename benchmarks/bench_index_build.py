@@ -25,7 +25,7 @@ import time
 
 import numpy as np
 
-from _common import RESULTS_DIR, format_table, machine_info, scaled, write_result
+from _common import format_table, machine_info, results_path, scaled, write_result
 from repro.index import BallTree, CoverTree, MTree, SlimTree, VPTree
 from repro.index.reference import ReferenceBallTree, ReferenceVPTree
 from repro.metric.base import MetricSpace
@@ -110,8 +110,7 @@ def main() -> None:
     sizes = args.n if args.n else DEFAULT_SIZES
 
     payload = run(sizes, args.repeats)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_index_build.json").write_text(
+    results_path("BENCH_index_build.json").write_text(
         json.dumps(payload, indent=2) + "\n"
     )
     rows = []

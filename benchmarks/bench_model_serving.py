@@ -27,7 +27,7 @@ import time
 
 import numpy as np
 
-from _common import RESULTS_DIR, format_table, machine_info, scaled, write_result
+from _common import format_table, machine_info, results_path, scaled, write_result
 from repro.api import ModelRegistry, make_estimator
 
 BOOST = scaled(1.0, lo=0.02, hi=20.0)
@@ -103,8 +103,7 @@ def main() -> None:
         payload = run(sizes, args.repeats, root)
     payload["machine"] = machine_info()
 
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_serving.json").write_text(json.dumps(payload, indent=2) + "\n")
+    results_path("BENCH_serving.json").write_text(json.dumps(payload, indent=2) + "\n")
 
     rows = [
         [r["n"], f"{r['artifact_bytes'] / 1024:.0f} KiB",

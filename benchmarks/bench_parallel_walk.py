@@ -29,7 +29,7 @@ import time
 
 import numpy as np
 
-from _common import RESULTS_DIR, format_table, machine_info, scaled, write_result
+from _common import format_table, machine_info, results_path, scaled, write_result
 from repro.core.radii import define_radii
 from repro.engine import BatchQueryEngine, default_workers
 from repro.index import build_index
@@ -112,8 +112,7 @@ def run(
 def merge_into_results(payload: dict) -> None:
     """Write BENCH_parallel.json, preserving any sections other benches
     (fig. 7's parallel sweep) already recorded there."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / "BENCH_parallel.json"
+    path = results_path("BENCH_parallel.json")
     merged = {}
     if path.is_file():
         try:

@@ -470,6 +470,10 @@ _MCCATCH_PARAMS = {
     # valid with engine=parallel (McCatch rejects the combination
     # loudly otherwise), e.g. "mccatch?engine=parallel&workers=8".
     "workers": Param(int, None),
+    # parallel-engine sharding axis: split the query set ("query",
+    # default — canonicalizes away) or disjoint subtree node ranges
+    # ("tree"), e.g. "mccatch?engine=parallel&shard_by=tree".
+    "shard_by": Param(str, "query"),
     "t": Param(float, None, attr="transformation_cost"),
     "sparse": Param(bool, True, attr="sparse_focused"),
     # fit-time L_p metric name; lives on the estimator, not the McCatch

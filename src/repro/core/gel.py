@@ -47,6 +47,7 @@ def spot_microclusters(
     index_kind: str = "auto",
     engine_mode: str = "batched",
     workers: int | None = None,
+    shard_by: str = "query",
 ) -> list[np.ndarray]:
     """Alg. 3 lines 7-19: split A into nonsingleton and singleton mcs.
 
@@ -59,9 +60,9 @@ def spot_microclusters(
     outliers:
         The set A as dataset positions (already computed by
         :func:`repro.core.cutoff.outlier_mask`).
-    engine_mode, workers:
-        Execution plan (and parallel-mode pool size) for the pair
-        join (see :class:`repro.engine.BatchQueryEngine`).
+    engine_mode, workers, shard_by:
+        Execution plan (and parallel-mode pool size / sharding axis)
+        for the pair join (see :class:`repro.engine.BatchQueryEngine`).
 
     Returns
     -------
@@ -90,7 +91,9 @@ def spot_microclusters(
         e_next = min(max_end + 1, a - 1)
         threshold = float(radii[e_next])
         tree = build_index(space, grouped, kind=index_kind)
-        edges = BatchQueryEngine(tree, mode=engine_mode, workers=workers).pairs(threshold)
+        edges = BatchQueryEngine(
+            tree, mode=engine_mode, workers=workers, shard_by=shard_by
+        ).pairs(threshold)
         clusters.extend(connected_components(grouped, edges))
 
     for i in singles:

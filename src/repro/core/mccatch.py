@@ -68,6 +68,13 @@ class McCatch:
         Worker-pool size for ``engine_mode="parallel"`` (default: the
         usable core count).  Setting it with a serial engine mode is
         an error rather than a silent no-op.
+    shard_by:
+        Sharding axis for ``engine_mode="parallel"``: ``"query"``
+        (default) splits the query set across workers, ``"tree"``
+        splits disjoint subtree node ranges (see
+        :class:`repro.engine.ShardedWalkExecutor`).  Like ``workers``,
+        selecting the non-default with a serial engine mode is an
+        error rather than a silent no-op.
     transformation_cost:
         The ``t`` of Def. 7.  ``None`` (default) derives it from the
         data: dimensionality for vectors, the word formula for strings,
@@ -99,6 +106,7 @@ class McCatch:
         index: str = "auto",
         engine_mode: str = "batched",
         workers: int | None = None,
+        shard_by: str = "query",
         transformation_cost: float | None = None,
         sparse_focused: bool = True,
     ):
@@ -122,6 +130,18 @@ class McCatch:
                     f"(got engine_mode={self.engine_mode!r})"
                 )
         self.workers = workers
+        from repro.engine.parallel import SHARD_MODES
+
+        if shard_by not in SHARD_MODES:
+            raise ValueError(
+                f"unknown shard_by {shard_by!r}; choose from {SHARD_MODES}"
+            )
+        if shard_by != "query" and self.engine_mode != "parallel":
+            raise ValueError(
+                "shard_by= only applies to engine_mode='parallel' "
+                f"(got engine_mode={self.engine_mode!r})"
+            )
+        self.shard_by = shard_by
         self.transformation_cost = transformation_cost
         self.sparse_focused = bool(sparse_focused)
 
@@ -198,6 +218,7 @@ class McCatch:
             sparse_focused=self.sparse_focused,
             engine_mode=self.engine_mode,
             workers=self.workers,
+            shard_by=self.shard_by,
         )
 
         # Step III: spot microclusters (Alg. 3).
@@ -206,7 +227,8 @@ class McCatch:
         outliers = np.nonzero(mask)[0]
         clusters = spot_microclusters(
             space, oracle, cutoff, outliers,
-            index_kind=self.index, engine_mode=self.engine_mode, workers=self.workers,
+            index_kind=self.index, engine_mode=self.engine_mode,
+            workers=self.workers, shard_by=self.shard_by,
         )
 
         # Step IV: anomaly scores (Alg. 4).
@@ -214,6 +236,7 @@ class McCatch:
             space, clusters, oracle,
             transformation_cost=t, index_kind=self.index,
             engine_mode=self.engine_mode, workers=self.workers,
+            shard_by=self.shard_by,
         )
         result = McCatchResult(
             microclusters=microclusters,

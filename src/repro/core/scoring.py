@@ -28,6 +28,7 @@ def nearest_inlier_distances(
     index_kind: str = "auto",
     engine_mode: str = "batched",
     workers: int | None = None,
+    shard_by: str = "query",
 ) -> np.ndarray:
     """Per-point distance g_i to the nearest inlier (Alg. 4 lines 1-15).
 
@@ -55,7 +56,9 @@ def nearest_inlier_distances(
         return g
 
     inlier_tree = build_index(space, inlier_ids, kind=index_kind)
-    engine = BatchQueryEngine(inlier_tree, mode=engine_mode, workers=workers)
+    engine = BatchQueryEngine(
+        inlier_tree, mode=engine_mode, workers=workers, shard_by=shard_by
+    )
     first = engine.first_nonempty_radius(outliers, radii)
     g[outliers] = radii[-1]  # default: no inlier neighbor within l
     # First radius with an inlier neighbor: g is one rung below.
@@ -115,6 +118,7 @@ def score_microclusters(
     index_kind: str = "auto",
     engine_mode: str = "batched",
     workers: int | None = None,
+    shard_by: str = "query",
 ) -> tuple[list[Microcluster], np.ndarray]:
     """Alg. 4: scores per microcluster (ranked) and per point.
 
@@ -138,6 +142,7 @@ def score_microclusters(
     g = nearest_inlier_distances(
         space, outliers, oracle,
         index_kind=index_kind, engine_mode=engine_mode, workers=workers,
+        shard_by=shard_by,
     )
 
     microclusters: list[Microcluster] = []

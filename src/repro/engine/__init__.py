@@ -15,7 +15,10 @@ tests in ``tests/test_engine.py`` hold the two to exact equality.
 ``mode="parallel"`` layers :mod:`repro.engine.parallel` on top: the
 multi-radius walks shard across a persistent worker pool — threads
 over the shared flat arrays for vector metrics, mmap-attached
-processes for object metrics — with counts still bit-identical.
+processes for object metrics — with counts still bit-identical.  The
+work can be split along either axis: the query set
+(``shard_by="query"``) or disjoint subtree node ranges
+(``shard_by="tree"``).
 """
 
 from repro.engine.executor import (
@@ -24,7 +27,12 @@ from repro.engine.executor import (
     BatchQueryEngine,
     check_engine_mode,
 )
-from repro.engine.parallel import ShardedWalkExecutor, default_workers, supports_sharding
+from repro.engine.parallel import (
+    SHARD_MODES,
+    ShardedWalkExecutor,
+    default_workers,
+    supports_sharding,
+)
 from repro.engine.neighbors import (
     count_within_to,
     knn_distances,
@@ -35,6 +43,7 @@ from repro.engine.neighbors import (
 __all__ = [
     "BatchQueryEngine",
     "ENGINE_MODES",
+    "SHARD_MODES",
     "ShardedWalkExecutor",
     "UNKNOWN_COUNT",
     "check_engine_mode",

@@ -77,10 +77,11 @@ class BatchQueryEngine:
         sparse-focused drop is applied (batched/parallel modes only).
         Larger blocks share more per-walk work; smaller blocks drop
         dense points sooner.  The default (4) keeps both effects.
-    workers, shards, backend:
-        Worker-pool size, shard count, and pool backend for
-        ``mode="parallel"`` (defaults: the usable core count, a few
-        shards per worker, and thread-vs-process by metric type — see
+    workers, shards, backend, shard_by:
+        Worker-pool size, shard count, pool backend, and sharding axis
+        (``"query"`` or ``"tree"``) for ``mode="parallel"`` (defaults:
+        the usable core count, a few shards per worker,
+        thread-vs-process by metric type, and query sharding — see
         :class:`~repro.engine.parallel.ShardedWalkExecutor`).
         Ignored by the serial modes.
     """
@@ -94,6 +95,7 @@ class BatchQueryEngine:
         workers: int | None = None,
         shards: int | None = None,
         backend: str = "auto",
+        shard_by: str = "query",
     ):
         self.index = index
         self.mode = check_engine_mode(mode)
@@ -111,7 +113,8 @@ class BatchQueryEngine:
             # failing a workload that would still run correctly.
             if supports_sharding(index):
                 self._sharded = ShardedWalkExecutor(
-                    index, workers=workers, shards=shards, backend=backend
+                    index, workers=workers, shards=shards, backend=backend,
+                    shard_by=shard_by,
                 )
         # Flat-backed trees (anything carrying a FlatTree, including a
         # loaded FrozenIndex) override count_within_many with one

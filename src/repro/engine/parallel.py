@@ -5,10 +5,21 @@ The flat refactor (PR 2) reduced every metric tree to a
 the serving layer (PR 3) made those arrays memory-mappable straight off
 an uncompressed ``.npz`` (:mod:`repro.io.mmap`).  Together they enable
 the classic shared-nothing fan-out of tree-backed similarity systems:
-*shard the queries, share the index*.  :class:`ShardedWalkExecutor`
-splits a query-id set into contiguous shards and runs one
-:func:`~repro.index.base.frontier_count_walk` per shard on a persistent
-worker pool, then stacks the per-shard count matrices in shard order.
+*shard the work, share the index*.  :class:`ShardedWalkExecutor`
+supports two sharding axes:
+
+- ``shard_by="query"`` (default) splits the query-id set into
+  contiguous shards and runs one
+  :func:`~repro.index.base.level_count_walk` per shard, then stacks
+  the per-shard count matrices in shard order.
+- ``shard_by="tree"`` opens the top of the tree once
+  (:func:`~repro.index.base.open_tree_frontier`), splits the resulting
+  :class:`~repro.index.base.WalkFrontier` into disjoint contiguous
+  node ranges (:func:`~repro.index.base.split_frontier`) and resumes
+  one walk per range — every worker touches a disjoint region of the
+  tree arrays, and the per-range count matrices plus the partial
+  accumulated while opening *sum* to the serial result (scatters are
+  integer adds; the final cumsum is linear).
 
 Two pool backends, chosen by the metric:
 
@@ -48,11 +59,22 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.index.base import FlatTree, check_radii_ascending, frontier_count_walk
+from repro.index.base import (
+    FlatTree,
+    WalkFrontier,
+    check_radii_ascending,
+    level_count_walk,
+    open_tree_frontier,
+    split_frontier,
+)
 from repro.metric.base import MetricSpace
 
 #: Pool backends understood by :class:`ShardedWalkExecutor`.
 BACKENDS = ("auto", "thread", "process")
+
+#: Sharding axes understood by :class:`ShardedWalkExecutor`: split the
+#: query set, or split the tree into disjoint subtree node ranges.
+SHARD_MODES = ("query", "tree")
 
 #: Default shards-per-worker oversubscription: frontier walks cost
 #: different amounts per query (dense regions prune less), so a few
@@ -144,9 +166,20 @@ def _attached_index(path: str, items, metric):
 
 
 def _count_shard_attached(path, items, metric, query_ids, radii) -> np.ndarray:
-    """One shard's count matrix, walked over the mmap-attached artifact."""
+    """One query shard's count matrix, walked over the mmap-attached artifact."""
     index = _attached_index(path, items, metric)
-    return frontier_count_walk(index.space, query_ids, radii, index.flat)
+    return level_count_walk(index.space, query_ids, radii, index.flat)
+
+
+def _count_frontier_attached(
+    path, items, metric, query_ids, radii, frontier: tuple
+) -> np.ndarray:
+    """One subtree shard's count matrix: resume a saved frontier over
+    the mmap-attached artifact (``shard_by="tree"``)."""
+    index = _attached_index(path, items, metric)
+    return level_count_walk(
+        index.space, query_ids, radii, index.flat, frontier=WalkFrontier(*frontier)
+    )
 
 
 def _is_mmap_backed(arr) -> bool:
@@ -213,6 +246,13 @@ class ShardedWalkExecutor:
         ``"auto"`` (default) picks ``"thread"`` for vector spaces —
         the bulk kernels release the GIL — and ``"process"`` for
         object metrics, whose Python-loop distances do not.
+    shard_by:
+        ``"query"`` (default) splits the query set across workers;
+        ``"tree"`` opens the top of the tree serially, splits the
+        frontier into disjoint contiguous subtree node ranges and
+        resumes one walk per range, summing the results onto the
+        partial counts.  Both axes are exact for any worker and shard
+        count.
     artifact:
         Optional path of an already-published index archive
         (:func:`repro.io.indexes.save_index` /
@@ -231,6 +271,7 @@ class ShardedWalkExecutor:
         workers: int | None = None,
         shards: int | None = None,
         backend: str = "auto",
+        shard_by: str = "query",
         artifact: str | Path | None = None,
         artifact_dir: str | Path | None = None,
     ):
@@ -242,6 +283,11 @@ class ShardedWalkExecutor:
             )
         if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+        if shard_by not in SHARD_MODES:
+            raise ValueError(
+                f"unknown shard_by {shard_by!r}; choose from {SHARD_MODES}"
+            )
+        self.shard_by = shard_by
         self.index = index
         self.workers = default_workers() if workers is None else int(workers)
         if self.workers < 1:
@@ -333,22 +379,29 @@ class ShardedWalkExecutor:
     ) -> np.ndarray:
         """The ``(q, a)`` count matrix, sharded across the worker pool.
 
-        Bit-identical to the serial
+        Bit-identical to one serial
+        :func:`~repro.index.base.level_count_walk` /
         :func:`~repro.index.base.frontier_count_walk` for every shard
-        and worker count (see module docstring).
+        axis, shard count and worker count (see module docstring).
         """
         query_ids = np.asarray(query_ids, dtype=np.intp)
         radii = check_radii_ascending(radii)
+        if self.workers == 1:
+            return level_count_walk(
+                self.index.space, query_ids, radii, self.index.flat
+            )
+        if self.shard_by == "tree":
+            return self._count_tree_sharded(query_ids, radii)
         shards = self._shard(query_ids)
-        if self.workers == 1 or len(shards) <= 1:
-            return frontier_count_walk(
+        if len(shards) <= 1:
+            return level_count_walk(
                 self.index.space, query_ids, radii, self.index.flat
             )
         if self.backend == "thread":
             pool = _get_pool("thread", self.workers)
             space, flat = self.index.space, self.index.flat
             futures = [
-                pool.submit(frontier_count_walk, space, shard, radii, flat)
+                pool.submit(level_count_walk, space, shard, radii, flat)
                 for shard in shards
             ]
         else:
@@ -361,6 +414,55 @@ class ShardedWalkExecutor:
             ]
         return np.vstack([f.result() for f in futures])
 
+    def _count_tree_sharded(
+        self, query_ids: np.ndarray, radii: np.ndarray
+    ) -> np.ndarray:
+        """``shard_by="tree"``: open the top serially, fan out subtrees.
+
+        The opening walk runs level steps until the frontier spans at
+        least the requested shard count of distinct nodes; the frontier
+        is then cut into contiguous node ranges and each range resumed
+        independently.  Swallow credits and leaf scatters recorded
+        while opening live in the partial matrix, each entry of the
+        split frontier is handed out exactly once, and integer adds
+        commute — so ``partial + Σ piece`` equals the serial walk bit
+        for bit regardless of how the frontier was cut.
+        """
+        space, flat = self.index.space, self.index.flat
+        k = self.shards if self.shards is not None else OVERSHARD * self.workers
+        partial, frontier = open_tree_frontier(
+            space, query_ids, radii, flat, min_nodes=max(1, int(k))
+        )
+        pieces = split_frontier(frontier, max(1, int(k)))
+        if not pieces:
+            return partial
+        if len(pieces) == 1:
+            return partial + level_count_walk(
+                space, query_ids, radii, flat, frontier=pieces[0]
+            )
+        if self.backend == "thread":
+            pool = _get_pool("thread", self.workers)
+            futures = [
+                pool.submit(
+                    level_count_walk, space, query_ids, radii, flat, frontier=piece
+                )
+                for piece in pieces
+            ]
+        else:
+            path = str(self.artifact)
+            items, metric = self._space_payload()
+            pool = _get_pool("process", self.workers)
+            futures = [
+                pool.submit(
+                    _count_frontier_attached,
+                    path, items, metric, query_ids, radii, tuple(piece),
+                )
+                for piece in pieces
+            ]
+        for future in futures:
+            partial += future.result()
+        return partial
+
     def count_within(
         self, query_ids: Sequence[int] | np.ndarray, radius: float
     ) -> np.ndarray:
@@ -371,7 +473,8 @@ class ShardedWalkExecutor:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"ShardedWalkExecutor({type(self.index).__name__}, "
-            f"workers={self.workers}, backend={self.backend!r})"
+            f"workers={self.workers}, backend={self.backend!r}, "
+            f"shard_by={self.shard_by!r})"
         )
 
 

@@ -22,14 +22,27 @@ rest with stacked per-radius passes.  Available trees:
 
 The metric trees all store their structure as a
 :class:`~repro.index.base.FlatTree` (struct-of-arrays, one element
-permutation, CSR children) walked by the shared flat
-``frontier_count_walk``; a fitted tree can be persisted with
+permutation, CSR children) walked by the shared flat walks: the
+depth-major :func:`~repro.index.base.level_count_walk` (the default —
+O(depth) numpy dispatches, float32-bracketed leaf kernels, virtual
+leaves) and the node-major
+:func:`~repro.index.base.frontier_count_walk` kept as the frozen
+differential baseline (``walk="stack"``); both produce bit-identical
+counts.  A fitted tree can be persisted with
 :func:`repro.io.save_index` and served as a
 :class:`~repro.index.base.FrozenIndex`.
 """
 
 from repro.index.balltree import BallTree
-from repro.index.base import UNKNOWN_COUNT, FlatTree, FrozenIndex, MetricIndex
+from repro.index.base import (
+    UNKNOWN_COUNT,
+    FlatTree,
+    FrozenIndex,
+    MetricIndex,
+    count_walk,
+    frontier_count_walk,
+    level_count_walk,
+)
 from repro.index.bruteforce import BruteForceIndex
 from repro.index.ckdtree import CKDTreeIndex
 from repro.index.covertree import CoverTree
@@ -46,6 +59,9 @@ __all__ = [
     "MetricIndex",
     "FlatTree",
     "FrozenIndex",
+    "count_walk",
+    "frontier_count_walk",
+    "level_count_walk",
     "BruteForceIndex",
     "VPTree",
     "KDTree",

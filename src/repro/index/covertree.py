@@ -26,7 +26,13 @@ from collections import deque
 
 import numpy as np
 
-from repro.index.base import FlatQueryMixin, FlatTree, MetricIndex
+from repro.index.base import (
+    FlatQueryMixin,
+    FlatTree,
+    MetricIndex,
+    attach_leaf_distances,
+    check_walk_mode,
+)
 from repro.metric.base import MetricSpace
 
 
@@ -64,7 +70,10 @@ class CoverTree(FlatQueryMixin, MetricIndex):
     queries — and persistence — run against.
     """
 
-    def __init__(self, space: MetricSpace, ids=None, *, leaf_size: int = 16, base: float = 2.0):
+    def __init__(
+        self, space: MetricSpace, ids=None, *,
+        leaf_size: int = 16, base: float = 2.0, walk: str = "level",
+    ):
         super().__init__(space, ids)
         if leaf_size < 1:
             raise ValueError(f"leaf_size must be >= 1, got {leaf_size}")
@@ -72,8 +81,9 @@ class CoverTree(FlatQueryMixin, MetricIndex):
             raise ValueError(f"base must be > 1, got {base}")
         self.leaf_size = leaf_size
         self.base = float(base)
+        self.walk = check_walk_mode(walk)
         self.root = self._build_root()
-        self.flat = self._freeze()
+        self.flat = attach_leaf_distances(space, self._freeze())
 
     # -- construction ----------------------------------------------------
 

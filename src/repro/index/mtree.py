@@ -20,7 +20,8 @@ from repro.index.base import (
     FlatTree,
     MetricIndex,
     check_radii_ascending,
-    frontier_count_walk,
+    check_walk_mode,
+    count_walk,
 )
 from repro.metric.base import MetricSpace
 
@@ -63,11 +64,14 @@ class MTree(MetricIndex):
         Maximum entries per node before a split (>= 4).
     """
 
-    def __init__(self, space: MetricSpace, ids=None, *, capacity: int = 16):
+    def __init__(
+        self, space: MetricSpace, ids=None, *, capacity: int = 16, walk: str = "level"
+    ):
         if capacity < 4:
             raise ValueError(f"capacity must be >= 4, got {capacity}")
         super().__init__(space, ids)
         self.capacity = capacity
+        self.walk = check_walk_mode(walk)
         self.root = _Node(is_leaf=True)
         self._distance_calls = 0
         self._flat: FlatTree | None = None
@@ -103,6 +107,7 @@ class MTree(MetricIndex):
         """
         n = len(self.ids)
         elems = np.empty(n, dtype=np.intp)
+        d_elem = np.zeros(n, dtype=np.float64)
         center: list[int] = []
         radius: list[float] = []
         size: list[int] = []
@@ -129,15 +134,26 @@ class MTree(MetricIndex):
                 center=center, threshold=np.zeros(len(center)), radius=radius,
                 size=size, child_lo=child_lo, child_hi=child_hi,
                 elem_lo=elem_lo, elem_hi=elem_hi, elems=elems, d_parent=d_parent,
+                d_elem=d_elem,
             )
 
         root = self.root
         if root.is_leaf:  # tiny tree: everything hangs off one leaf node
             members = np.array([e.pivot_id for e in root.entries], dtype=np.intp)
             c = int(members[0])
-            rad = float(self.space.distances(c, members).max()) if members.size > 1 else 0.0
+            # The object root carries no routing entry, so its members'
+            # d_parent fields were never set relative to this synthetic
+            # center — measure them honestly (the covering radius needs
+            # the same distances anyway).
+            d_c = (
+                self.space.distances(c, members)
+                if members.size > 1
+                else np.zeros(1, dtype=np.float64)
+            )
+            rad = float(d_c.max()) if members.size > 1 else 0.0
             new_node(c, rad, members.size, 0.0, 0, n)
             elems[:] = members
+            d_elem[:] = d_c
             return make_flat()
 
         pivots = np.array([e.pivot_id for e in root.entries], dtype=np.intp)
@@ -163,6 +179,12 @@ class MTree(MetricIndex):
             lo, hi = elem_lo[idx], elem_hi[idx]
             if node.is_leaf:
                 elems[lo:hi] = [e.pivot_id for e in node.entries]
+                # A leaf entry's d_parent is its distance to the owning
+                # node's pivot — exactly the flat leaf's center — kept
+                # current by insert/split/slim-down.  The level walk's
+                # leaf scatter uses it to skip expensive object-metric
+                # evaluations per member.
+                d_elem[lo:hi] = [e.d_parent for e in node.entries]
                 continue
             first = len(center)
             cursor = lo
@@ -394,18 +416,20 @@ class MTree(MetricIndex):
         return total
 
     def count_within_many(self, query_ids, radii) -> np.ndarray:
-        """All radii for all queries in one node-major walk over the
-        frozen flat arrays (:func:`~repro.index.base.frontier_count_walk`).
+        """All radii for all queries in one walk over the frozen flat
+        arrays (:func:`~repro.index.base.level_count_walk` by default,
+        the stack walk with ``walk="stack"``).
 
         The walk applies the M-tree's classic parent-distance filter —
-        stored per flat node as ``d_parent`` — before computing any
-        distance to a node, and shares every distance across the whole
-        radius ladder.  Inherited by
+        stored per flat node as ``d_parent``, and per leaf entry as
+        ``d_elem`` for the level walk's object-metric leaf thinning —
+        before computing any distance, and shares every distance across
+        the whole radius ladder.  Inherited by
         :class:`~repro.index.slimtree.SlimTree`.
         """
         query_ids = np.asarray(query_ids, dtype=np.intp)
         radii = check_radii_ascending(radii)
-        return frontier_count_walk(self.space, query_ids, radii, self.flat)
+        return count_walk(self.space, query_ids, radii, self.flat, walk=self.walk)
 
     def diameter_estimate(self) -> float:
         """Alg. 1 line 2: max distance between direct successors of the root.

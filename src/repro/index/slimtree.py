@@ -23,8 +23,11 @@ from repro.index.mtree import MTree, _Entry, _Node
 class SlimTree(MTree):
     """M-tree subclass with MST-based splits and optional slim-down."""
 
-    def __init__(self, space, ids=None, *, capacity: int = 16, slim_down: bool = True):
-        super().__init__(space, ids, capacity=capacity)
+    def __init__(
+        self, space, ids=None, *,
+        capacity: int = 16, slim_down: bool = True, walk: str = "level",
+    ):
+        super().__init__(space, ids, capacity=capacity, walk=walk)
         if slim_down:
             self.slim_down()
 

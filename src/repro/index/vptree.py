@@ -20,7 +20,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.index.base import FlatQueryMixin, FlatTree, MetricIndex, concat_ranges
+from repro.index.base import (
+    FlatQueryMixin,
+    FlatTree,
+    MetricIndex,
+    attach_leaf_distances,
+    check_walk_mode,
+    concat_ranges,
+)
 from repro.metric.base import MetricSpace
 from repro.utils.rng import check_random_state
 
@@ -48,13 +55,17 @@ class VPTree(FlatQueryMixin, MetricIndex):
         split, and every leaf bucket is a slice of ``flat.elems``.
     """
 
-    def __init__(self, space: MetricSpace, ids=None, *, leaf_size: int = 16, random_state=0):
+    def __init__(
+        self, space: MetricSpace, ids=None, *,
+        leaf_size: int = 16, random_state=0, walk: str = "level",
+    ):
         super().__init__(space, ids)
         if leaf_size < 1:
             raise ValueError(f"leaf_size must be >= 1, got {leaf_size}")
         self.leaf_size = leaf_size
+        self.walk = check_walk_mode(walk)
         self._rng = check_random_state(random_state)
-        self.flat = self._build_flat()
+        self.flat = attach_leaf_distances(space, self._build_flat())
 
     # -- construction ----------------------------------------------------
 

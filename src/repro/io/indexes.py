@@ -107,6 +107,8 @@ def frozen_from_payload(payload, space: MetricSpace | None = None) -> FrozenInde
     arrays["vp_split"] = payload["tree_vp_split"][()]
     if "tree_d_parent" in payload:
         arrays["d_parent"] = payload["tree_d_parent"]
+    if "tree_d_elem" in payload:
+        arrays["d_elem"] = payload["tree_d_elem"]
     return FrozenIndex(
         space,
         ids,

@@ -41,6 +41,21 @@ class MetricSpace:
     in Python, which is the honest cost of a user-supplied metric.
     """
 
+    #: Lazily cached per-row squared norms for the Euclidean
+    #: :meth:`paired_distances` fast path.  A class-level default so
+    #: proxy subclasses that bypass ``__init__`` stay consistent.
+    _sqnorms: np.ndarray | None = None
+
+    #: Lazily cached contiguous per-coordinate columns for the low-dim
+    #: Euclidean :meth:`paired_distances` fast path (same class-level
+    #: default rationale as ``_sqnorms``).
+    _pcols: list | None = None
+
+    #: Lazily cached float32 coordinate view for the walks' approximate
+    #: squared-distance prefilters (``False`` marks "checked, not
+    #: applicable" so the gate is evaluated once per space).
+    _f32cache: tuple | bool | None = None
+
     def __init__(self, data, metric=None):
         if isinstance(data, np.ndarray) and np.issubdtype(data.dtype, np.number):
             arr = np.asarray(data, dtype=np.float64)
@@ -149,11 +164,81 @@ class MetricSpace:
         if li.size != ri.size:
             raise ValueError(f"paired_distances needs equal lengths, got {li.size} and {ri.size}")
         if self.is_vector:
+            if self._vm.p == 2.0:
+                # Cache the row squared norms once per space: einsum's
+                # per-row reduction is row-independent, so gathered
+                # norms are bitwise identical to freshly computed ones,
+                # and the walks' huge paired calls drop from three
+                # einsum passes to one.
+                sq = self._sqnorms
+                if sq is None:
+                    sq = self._sqnorms = np.einsum("ij,ij->i", self.data, self.data)
+                if self.data.shape[1] <= 2:
+                    # Column-take fast path: row gathers from a 2-d
+                    # array cost a small memcpy per row, while 1-d
+                    # ``take`` streams.  The accumulation
+                    # ``x0*y0 + x1*y1`` is the exact operation order of
+                    # ``einsum("ij,ij->i", ...)`` for one or two
+                    # columns (einsum unrolls differently beyond that,
+                    # hence the dim gate), so every float is bitwise
+                    # identical to :meth:`VectorMetric.paired`.
+                    cols = self._pcols
+                    if cols is None:
+                        cols = self._pcols = [
+                            np.ascontiguousarray(self.data[:, k])
+                            for k in range(self.data.shape[1])
+                        ]
+                    ab = cols[0].take(li) * cols[0].take(ri)
+                    for col in cols[1:]:
+                        ab += col.take(li) * col.take(ri)
+                    out = (sq.take(li) + sq.take(ri)) - 2.0 * ab
+                    np.maximum(out, 0.0, out=out)
+                    return np.sqrt(out, out=out)
+                return self._vm.paired(
+                    self.data[li], self.data[ri], sq_a=sq[li], sq_b=sq[ri]
+                )
             return self._vm.paired(self.data[li], self.data[ri])
         return np.array(
             [self.metric(self.data[i], self.data[j]) for i, j in zip(li, ri)],
             dtype=np.float64,
         )
+
+    def float32_coords(self) -> tuple | None:
+        """Float32 coordinate view backing approximate distance bounds.
+
+        Returns ``(cols, sqnorms, scale2)`` — contiguous float32 copies
+        of each coordinate column, float32 row squared norms, and the
+        magnitude scale ``4 * max(||x||^2)`` that bounds every operand
+        of the expansion ``||q||^2 + ||x||^2 - 2 q.x`` — or ``None``
+        when the space is not finite Euclidean vector data.
+
+        The walks use this view to *bracket* squared distances, never
+        to decide them: a decision margin proportional to ``scale2``
+        absorbs the float32 round-off (a few units in ``1e-7`` of the
+        scale, versus the ``1e-4`` margins used), and anything inside
+        the margin band is re-evaluated through the exact float64
+        :meth:`paired_distances` path, so counts stay bit-identical.
+        The dimensionality gate keeps the accumulated rounding of a
+        per-column sum comfortably below that margin.
+        """
+        cache = self._f32cache
+        if cache is None:
+            cache = False
+            if self.is_vector and self._vm is not None and self._vm.p == 2.0:
+                dim = self.data.shape[1]
+                if 0 < dim <= 64:
+                    sq = self._sqnorms
+                    if sq is None:
+                        sq = self._sqnorms = np.einsum("ij,ij->i", self.data, self.data)
+                    scale2 = 4.0 * float(sq.max())
+                    if np.isfinite(scale2):
+                        cols = [
+                            np.ascontiguousarray(self.data[:, k], dtype=np.float32)
+                            for k in range(dim)
+                        ]
+                        cache = (cols, sq.astype(np.float32), scale2)
+            self._f32cache = cache
+        return cache or None
 
     def distances_among(
         self, left: Sequence[int] | np.ndarray, right: Sequence[int] | np.ndarray

@@ -90,6 +90,13 @@ class CountingMetricSpace(MetricSpace):
         self.counter.bulk_pairs += int(out.size)
         return out
 
+    def paired_distances(self, left, right):
+        """Counted row-aligned distances (see :class:`MetricSpace`)."""
+        out = self._inner.paired_distances(left, right)
+        self.counter.bulk_calls += 1
+        self.counter.bulk_pairs += int(out.size)
+        return out
+
     def distances_among(self, left, right):
         """Counted cross distances (see :class:`MetricSpace`)."""
         out = self._inner.distances_among(left, right)

@@ -72,29 +72,41 @@ class VectorMetric:
             return diff.sum(axis=2)
         return np.sum(diff**self.p, axis=2) ** (1.0 / self.p)
 
-    def paired(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    def paired(
+        self,
+        A: np.ndarray,
+        B: np.ndarray,
+        sq_a: np.ndarray | None = None,
+        sq_b: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Row-aligned distances: ``out[i] = distance(A[i], B[i])``.
 
-        The level-synchronous tree builds need one distance per element
-        (each element to its segment's vantage), not a cross matrix.
-        Every entry is bitwise identical to the corresponding entry of
-        :meth:`bulk` — the Euclidean path uses the same einsum
-        sum-of-products accumulation order as the cross-term there, and
-        the other L_p paths reduce the same contiguous axis — so radii
-        and thresholds recorded at build time live in the same float
-        universe as the distances the walks compare them against
-        (``tests/test_metric_vector.py`` pins this property).
+        The level-synchronous tree builds and walks need one distance
+        per element (each element to its segment's vantage), not a
+        cross matrix.  Every entry is bitwise identical to the
+        corresponding entry of :meth:`bulk` — the Euclidean path uses
+        the same einsum sum-of-products accumulation order as the
+        cross-term there, and the other L_p paths reduce the same
+        contiguous axis — so radii and thresholds recorded at build
+        time live in the same float universe as the distances the walks
+        compare them against (``tests/test_metric_vector.py`` pins this
+        property).
+
+        ``sq_a`` / ``sq_b`` optionally supply precomputed row squared
+        norms for the Euclidean path (``einsum("ij,ij->i", A, A)`` per
+        row — the reduction is row-independent, so norms computed once
+        over a whole data matrix are bitwise identical to norms of any
+        gathered subset).  The level-synchronous walks lean on this:
+        caching the norms turns three einsum passes per call into one.
         """
         A = np.ascontiguousarray(A, dtype=np.float64)
         B = np.ascontiguousarray(B, dtype=np.float64)
         if np.isinf(self.p):
             return np.abs(A - B).max(axis=1, initial=0.0)
         if self.p == 2.0:
-            sq = (
-                np.einsum("ij,ij->i", A, A)
-                + np.einsum("ij,ij->i", B, B)
-                - 2.0 * np.einsum("ij,ij->i", A, B)
-            )
+            aa = np.einsum("ij,ij->i", A, A) if sq_a is None else sq_a
+            bb = np.einsum("ij,ij->i", B, B) if sq_b is None else sq_b
+            sq = (aa + bb) - 2.0 * np.einsum("ij,ij->i", A, B)
             np.maximum(sq, 0.0, out=sq)
             return np.sqrt(sq)
         diff = np.abs(A - B)
