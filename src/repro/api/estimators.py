@@ -465,6 +465,13 @@ _MCCATCH_PARAMS = {
     "c": Param(float, 0.1, attr="max_cardinality_fraction"),
     "cmax": Param(int, None, attr="max_cardinality"),
     "index": Param(str, "auto", attr="index"),
+    # construction strategy for the insertion-tree index families
+    # (mtree/slimtree/covertree): "bulk" (the level-synchronous array
+    # bulk-load, their default) or "insert" (the per-insert baseline),
+    # e.g. "mccatch?index=slimtree&build=insert".  None = the family
+    # default, so leaving it out canonicalizes away; index families
+    # with no selectable build reject a pinned value loudly.
+    "build": Param(str, None, attr="index_build"),
     "engine": Param(str, "batched", attr="engine_mode"),
     # parallel-engine pool size; None = the usable core count.  Only
     # valid with engine=parallel (McCatch rejects the combination

@@ -66,6 +66,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="hyperparameter c as a fraction of n")
     detect.add_argument("--index", default="auto",
                         help="index kind backing the joins (default auto)")
+    detect.add_argument("--build", default=None, choices=["bulk", "insert"],
+                        help="construction strategy for the insertion-tree "
+                             "index families (mtree/slimtree/covertree): the "
+                             "level-synchronous array bulk-load (their "
+                             "default) or the per-insert baseline")
     detect.add_argument("--workers", type=int, default=None, metavar="N",
                         help="shard the range-count walks across N workers "
                              "(engine_mode=parallel; needs a flat-backed "
@@ -125,6 +130,9 @@ def _build_parser() -> argparse.ArgumentParser:
     fit.add_argument("--index", default=None,
                      help="metric tree backing the model (default vptree; must "
                           "be flat-backed: vptree, balltree, covertree, mtree, slimtree)")
+    fit.add_argument("--build", default=None, choices=["bulk", "insert"],
+                     help="construction strategy for the insertion-tree index "
+                          "families (folds build=... into the McCatch spec)")
     fit.add_argument("--workers", type=int, default=None, metavar="N",
                      help="fit with the parallel engine on N workers (folds "
                           "engine=parallel&workers=N into the McCatch spec)")
@@ -217,6 +225,7 @@ def _cmd_detect(args) -> int:
         max_slope=args.max_slope,
         max_cardinality_fraction=args.max_cardinality_fraction,
         index=index,
+        index_build=args.build,
         engine_mode="parallel" if args.workers is not None else "batched",
         workers=args.workers,
         shard_by=args.shard_by,
@@ -364,6 +373,11 @@ def _resolve_fit_estimator(args):
                     "error: --shard-by applies only to McCatch specs "
                     f"(got {estimator.spec!r})"
                 )
+            if args.build is not None:
+                raise SystemExit(
+                    "error: --build applies only to McCatch specs "
+                    f"(got {estimator.spec!r})"
+                )
             return estimator
         raw = parse_spec(args.spec)[1]
         spec = args.spec
@@ -383,6 +397,14 @@ def _resolve_fit_estimator(args):
                 )
         elif args.metric is not None:
             spec = _spec_with(spec, "metric", args.metric)
+        if "build" in raw:
+            if args.build is not None:
+                raise SystemExit(
+                    "error: --build cannot be combined with a spec that "
+                    "already pins build=...; pick one"
+                )
+        elif args.build is not None:
+            spec = _spec_with(spec, "build", args.build)
         if args.shard_by is not None and args.workers is None:
             raise SystemExit("error: --shard-by requires --workers")
         if args.workers is not None:
@@ -408,6 +430,7 @@ def _resolve_fit_estimator(args):
             if args.max_cardinality_fraction is not None else 0.1
         ),
         index=args.index or "vptree",
+        index_build=args.build,
         engine_mode="parallel" if args.workers is not None else "batched",
         workers=args.workers,
         shard_by=args.shard_by or "query",

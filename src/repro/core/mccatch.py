@@ -24,7 +24,7 @@ from repro.core.radii import define_radii
 from repro.core.result import McCatchResult
 from repro.core.scoring import point_score, score_microclusters
 from repro.engine import check_engine_mode, nearest_distances_to
-from repro.index.base import MetricIndex
+from repro.index.base import MetricIndex, check_build_mode
 from repro.index.factory import build_index
 from repro.metric.base import MetricSpace
 from repro.metric.transformation import (
@@ -54,6 +54,14 @@ class McCatch:
     index:
         Index kind for the joins: ``"auto"`` (default), or any of
         :func:`repro.index.available_index_kinds`.
+    index_build:
+        Construction strategy for the insertion-tree index families
+        (``mtree``/``slimtree``/``covertree``): ``None`` (default)
+        leaves the family's own default (the level-synchronous array
+        bulk-load), ``"bulk"``/``"insert"`` pin it explicitly.
+        Requesting a mode for an index family with no such path fails
+        loudly in :func:`repro.index.build_index` rather than silently
+        falling back.
     engine_mode:
         Execution plan for the neighborhood workloads:
         ``"batched"`` (default; single-descent multi-radius queries via
@@ -104,6 +112,7 @@ class McCatch:
         *,
         max_cardinality: int | None = None,
         index: str = "auto",
+        index_build: str | None = None,
         engine_mode: str = "batched",
         workers: int | None = None,
         shard_by: str = "query",
@@ -121,6 +130,9 @@ class McCatch:
             max_cardinality = check_positive_int(max_cardinality, name="max_cardinality")
         self.max_cardinality = max_cardinality
         self.index = index
+        if index_build is not None:
+            check_build_mode(index_build)
+        self.index_build = index_build
         self.engine_mode = check_engine_mode(engine_mode)
         if workers is not None:
             workers = check_positive_int(workers, name="workers")
@@ -183,7 +195,7 @@ class McCatch:
         t = self._resolve_transformation_cost(space)
 
         # Step I: tree + radii (Alg. 1 lines 1-3).
-        tree = build_index(space, kind=self.index)
+        tree = build_index(space, kind=self.index, build=self.index_build)
         if self.engine_mode == "parallel":
             from repro.engine.parallel import supports_sharding
 
@@ -227,7 +239,8 @@ class McCatch:
         outliers = np.nonzero(mask)[0]
         clusters = spot_microclusters(
             space, oracle, cutoff, outliers,
-            index_kind=self.index, engine_mode=self.engine_mode,
+            index_kind=self.index, index_build=self.index_build,
+            engine_mode=self.engine_mode,
             workers=self.workers, shard_by=self.shard_by,
         )
 
@@ -235,6 +248,7 @@ class McCatch:
         microclusters, point_scores = score_microclusters(
             space, clusters, oracle,
             transformation_cost=t, index_kind=self.index,
+            index_build=self.index_build,
             engine_mode=self.engine_mode, workers=self.workers,
             shard_by=self.shard_by,
         )

@@ -26,6 +26,7 @@ def nearest_inlier_distances(
     oracle: OraclePlot,
     *,
     index_kind: str = "auto",
+    index_build: str | None = None,
     engine_mode: str = "batched",
     workers: int | None = None,
     shard_by: str = "query",
@@ -55,7 +56,7 @@ def nearest_inlier_distances(
         g[outliers] = radii[-1]
         return g
 
-    inlier_tree = build_index(space, inlier_ids, kind=index_kind)
+    inlier_tree = build_index(space, inlier_ids, kind=index_kind, build=index_build)
     engine = BatchQueryEngine(
         inlier_tree, mode=engine_mode, workers=workers, shard_by=shard_by
     )
@@ -116,6 +117,7 @@ def score_microclusters(
     *,
     transformation_cost: float,
     index_kind: str = "auto",
+    index_build: str | None = None,
     engine_mode: str = "batched",
     workers: int | None = None,
     shard_by: str = "query",
@@ -141,7 +143,8 @@ def score_microclusters(
     )
     g = nearest_inlier_distances(
         space, outliers, oracle,
-        index_kind=index_kind, engine_mode=engine_mode, workers=workers,
+        index_kind=index_kind, index_build=index_build,
+        engine_mode=engine_mode, workers=workers,
         shard_by=shard_by,
     )
 

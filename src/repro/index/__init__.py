@@ -44,6 +44,7 @@ from repro.index.base import (
     level_count_walk,
 )
 from repro.index.bruteforce import BruteForceIndex
+from repro.index.bulk import bulk_build_covertree, bulk_build_mtree, slim_down_flat
 from repro.index.ckdtree import CKDTreeIndex
 from repro.index.covertree import CoverTree
 from repro.index.factory import available_index_kinds, build_index
@@ -74,6 +75,9 @@ __all__ = [
     "LAESAIndex",
     "build_index",
     "available_index_kinds",
+    "bulk_build_mtree",
+    "bulk_build_covertree",
+    "slim_down_flat",
     "self_join_counts",
     "join_counts",
     "self_join_pairs",

@@ -1348,6 +1348,21 @@ def check_walk_mode(walk: str) -> str:
     return walk
 
 
+#: Construction strategies selectable on the insertion-tree families
+#: (M-tree / Slim-tree / cover tree): the level-synchronous array
+#: bulk-load (default — writes :class:`FlatTree` arrays directly, no
+#: object-node intermediate) and the classic per-insert builders kept
+#: as the frozen differential baseline (mirroring ``walk="stack"``).
+BUILD_MODES = ("bulk", "insert")
+
+
+def check_build_mode(build: str) -> str:
+    """Validate a build-mode string against :data:`BUILD_MODES`."""
+    if build not in BUILD_MODES:
+        raise ValueError(f"unknown build {build!r}; choose from {BUILD_MODES}")
+    return build
+
+
 def count_walk(
     space: MetricSpace,
     query_ids: np.ndarray,

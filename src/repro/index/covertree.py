@@ -31,8 +31,10 @@ from repro.index.base import (
     FlatTree,
     MetricIndex,
     attach_leaf_distances,
+    check_build_mode,
     check_walk_mode,
 )
+from repro.index.bulk import bulk_build_covertree
 from repro.metric.base import MetricSpace
 
 
@@ -60,19 +62,26 @@ class CoverTree(FlatQueryMixin, MetricIndex):
     base:
         Scale base (default 2.0, the classic cover tree's); children at
         scale ``s`` are separated by more than ``base**(s-1)``.
+    build:
+        ``"bulk"`` (default) runs the level-synchronous array build
+        (:func:`~repro.index.bulk.bulk_build_covertree`) straight into
+        :class:`~repro.index.base.FlatTree` storage — no object nodes,
+        ``self.root is None``.  ``"insert"`` keeps the recursive
+        per-node builder as the frozen differential baseline.
 
     Notes
     -----
-    Construction keeps the classic top-down farthest-point separation
-    over object nodes (``self.root``, used by the invariant tests and
-    :meth:`max_depth`/:meth:`node_count`), then *freezes* the result
-    into a :class:`~repro.index.base.FlatTree` (``self.flat``) that all
-    queries — and persistence — run against.
+    The ``"insert"`` build keeps the classic top-down farthest-point
+    separation over object nodes (``self.root``, used by the invariant
+    tests), then *freezes* the result into a
+    :class:`~repro.index.base.FlatTree` (``self.flat``).  Either way,
+    all queries — and persistence — run against ``self.flat``.
     """
 
     def __init__(
         self, space: MetricSpace, ids=None, *,
         leaf_size: int = 16, base: float = 2.0, walk: str = "level",
+        build: str = "bulk",
     ):
         super().__init__(space, ids)
         if leaf_size < 1:
@@ -82,8 +91,15 @@ class CoverTree(FlatQueryMixin, MetricIndex):
         self.leaf_size = leaf_size
         self.base = float(base)
         self.walk = check_walk_mode(walk)
-        self.root = self._build_root()
-        self.flat = attach_leaf_distances(space, self._freeze())
+        self.build = check_build_mode(build)
+        if self.build == "insert":
+            self.root: _CoverNode | None = self._build_root()
+            self.flat = attach_leaf_distances(space, self._freeze())
+        else:
+            self.root = None
+            self.flat = bulk_build_covertree(
+                space, self.ids, base=self.base, leaf_size=self.leaf_size
+            )
 
     # -- construction ----------------------------------------------------
 
@@ -198,7 +214,9 @@ class CoverTree(FlatQueryMixin, MetricIndex):
         """Root-children rule (Alg. 1 line 2) with a two-scan refinement."""
         if self.ids.size == 1:
             return 0.0
-        d0 = self.space.distances(self.root.center, self.ids)
+        # The flat root's center is the object root's center (nesting
+        # invariant), so both builds share this path.
+        d0 = self.space.distances(int(self.flat.center[0]), self.ids)
         far = int(self.ids[int(np.argmax(d0))])
         return float(self.space.distances(far, self.ids).max())
 
@@ -206,6 +224,8 @@ class CoverTree(FlatQueryMixin, MetricIndex):
 
     def max_depth(self) -> int:
         """Height of the tree (leaves are depth 1)."""
+        if self.root is None:  # bulk-built: depth lives in the flat arrays
+            return self.flat.max_depth()
 
         def depth(node: _CoverNode) -> int:
             if node.bucket is not None:
@@ -216,6 +236,8 @@ class CoverTree(FlatQueryMixin, MetricIndex):
 
     def node_count(self) -> int:
         """Total number of nodes (internal + leaves)."""
+        if self.root is None:
+            return int(self.flat.n_nodes)
         count = 0
         stack = [self.root]
         while stack:

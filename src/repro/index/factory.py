@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.index.balltree import BallTree
-from repro.index.base import MetricIndex
+from repro.index.base import MetricIndex, check_build_mode
 from repro.index.bruteforce import BruteForceIndex
 from repro.index.ckdtree import CKDTreeIndex
 from repro.index.covertree import CoverTree
@@ -24,6 +24,13 @@ from repro.index.vptree import VPTree
 from repro.metric.base import MetricSpace
 
 _VECTOR_ONLY = {"kdtree", "ckdtree", "rtree"}
+
+#: Families with a selectable construction strategy (the
+#: level-synchronous array bulk-load vs the per-insert baseline).
+_BUILD_SELECTABLE = {"mtree", "slimtree", "covertree"}
+#: Families whose only construction IS the level-synchronous bulk
+#: build — ``build="bulk"`` is a no-op, ``build="insert"`` an error.
+_BULK_NATIVE = {"vptree", "balltree"}
 
 _BUILDERS: dict[str, Callable[..., MetricIndex]] = {
     "brute": BruteForceIndex,
@@ -44,13 +51,24 @@ def available_index_kinds() -> list[str]:
     return sorted(_BUILDERS)
 
 
-def build_index(space: MetricSpace, ids=None, *, kind: str = "auto", **kwargs) -> MetricIndex:
+def build_index(
+    space: MetricSpace, ids=None, *, kind: str = "auto", build: str | None = None,
+    **kwargs,
+) -> MetricIndex:
     """Build an index over ``space`` (optionally restricted to ``ids``).
 
     ``kind="auto"`` selects scipy's cKDTree for Euclidean vector data
     and a VP-tree otherwise.  Explicit kinds: ``brute``, ``vptree``,
     ``kdtree``, ``ckdtree``, ``mtree``, ``slimtree``, ``rtree``.
     Extra keyword arguments are forwarded to the index constructor.
+
+    ``build`` selects the construction strategy for the insertion-tree
+    families (``mtree``/``slimtree``/``covertree``): the
+    level-synchronous array bulk-load (``"bulk"``, their default) or
+    the per-insert baseline (``"insert"``).  Requesting a build mode
+    for a family that has no such path fails loudly — never a silent
+    fallback — so a pinned ``build=`` in a spec always means what it
+    says.
     """
     if kind == "auto":
         if space.is_vector and getattr(space.metric, "p", None) == 2.0:
@@ -65,4 +83,20 @@ def build_index(space: MetricSpace, ids=None, *, kind: str = "auto", **kwargs) -
         ) from None
     if kind in _VECTOR_ONLY and not space.is_vector:
         raise TypeError(f"index kind {kind!r} requires vector data; use 'vptree' or 'mtree'")
+    if build is not None:
+        check_build_mode(build)
+        if kind in _BUILD_SELECTABLE:
+            kwargs["build"] = build
+        elif kind in _BULK_NATIVE:
+            if build == "insert":
+                raise ValueError(
+                    f"index kind {kind!r} has no insertion builder — it is "
+                    f"bulk-built natively; drop build= or use build='bulk'"
+                )
+            # "bulk" is the native (and only) construction: nothing to forward.
+        else:
+            raise ValueError(
+                f"index kind {kind!r} has no build={build!r} path; build= "
+                f"applies to {sorted(_BUILD_SELECTABLE | _BULK_NATIVE)}"
+            )
     return builder(space, ids, **kwargs)

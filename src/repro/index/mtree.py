@@ -19,10 +19,12 @@ import numpy as np
 from repro.index.base import (
     FlatTree,
     MetricIndex,
+    check_build_mode,
     check_radii_ascending,
     check_walk_mode,
     count_walk,
 )
+from repro.index.bulk import bulk_build_mtree
 from repro.metric.base import MetricSpace
 
 
@@ -61,31 +63,55 @@ class MTree(MetricIndex):
     Parameters
     ----------
     capacity:
-        Maximum entries per node before a split (>= 4).
+        Maximum entries per node before a split (>= 4); the bulk build
+        uses it as both routing fanout and leaf bucket cap.
+    build:
+        ``"bulk"`` (default) constructs the
+        :class:`~repro.index.base.FlatTree` arrays directly with the
+        level-synchronous :func:`~repro.index.bulk.bulk_build_mtree`
+        (no object nodes, ``self.root is None``); ``"insert"`` keeps
+        the classic per-insert builder as the frozen differential
+        baseline (mirroring ``walk="stack"``).
     """
 
     def __init__(
-        self, space: MetricSpace, ids=None, *, capacity: int = 16, walk: str = "level"
+        self, space: MetricSpace, ids=None, *,
+        capacity: int = 16, walk: str = "level", build: str = "bulk",
     ):
         if capacity < 4:
             raise ValueError(f"capacity must be >= 4, got {capacity}")
         super().__init__(space, ids)
         self.capacity = capacity
         self.walk = check_walk_mode(walk)
-        self.root = _Node(is_leaf=True)
+        self.build = check_build_mode(build)
         self._distance_calls = 0
         self._flat: FlatTree | None = None
-        for i in self.ids:
-            self._insert(int(i))
+        if self.build == "insert":
+            self.root: _Node | None = _Node(is_leaf=True)
+            for i in self.ids:
+                self._insert(int(i))
+        else:
+            self.root = None
+            stats: dict = {"distance_calls": 0}
+            self._flat = self._bulk_build(stats)
+            self._distance_calls += stats["distance_calls"]
+
+    def _bulk_build(self, stats: dict) -> FlatTree:
+        """The array bulk-load (SlimTree shares it; capacity = fanout)."""
+        return bulk_build_mtree(
+            self.space, self.ids,
+            fanout=self.capacity, leaf_cap=self.capacity, stats=stats,
+        )
 
     @property
     def flat(self) -> FlatTree:
-        """The frozen :class:`~repro.index.base.FlatTree` (built lazily).
+        """The :class:`~repro.index.base.FlatTree` every query runs on.
 
-        Insertion keeps the classic object-node M-tree; the first
-        multi-radius query (or a save) freezes it into flat arrays.
-        Structure-mutating passes (e.g. the Slim-tree's slim-down)
-        invalidate the cache.
+        The bulk build *is* these arrays (no object intermediate).
+        With ``build="insert"``, insertion keeps the classic
+        object-node M-tree and the first multi-radius query (or a
+        save) freezes it lazily; structure-mutating passes (e.g. the
+        Slim-tree's slim-down) invalidate the cache.
         """
         if self._flat is None:
             self._flat = self._freeze()
@@ -391,6 +417,12 @@ class MTree(MetricIndex):
 
     def count_within(self, query_ids: Sequence[int] | np.ndarray, radius: float) -> np.ndarray:
         query_ids = np.asarray(query_ids, dtype=np.intp)
+        if self.root is None:  # bulk-built: no object nodes to descend
+            counts = count_walk(
+                self.space, query_ids, np.array([float(radius)]), self.flat,
+                walk=self.walk,
+            )
+            return counts[:, 0].astype(np.intp)
         return np.array(
             [self._count_one(int(q), float(radius)) for q in query_ids], dtype=np.intp
         )
@@ -437,8 +469,23 @@ class MTree(MetricIndex):
         Child balls centred at pivot ``p_i`` with radius ``r_i`` bound
         the member span, so the estimate is
         ``max_{i<j} d(p_i, p_j) + r_i + r_j`` (exact when leaves hang
-        directly off the root).
+        directly off the root).  Bulk-built trees apply the same rule
+        to the flat root's children (a leaf root — all members in one
+        bucket — takes the exact pairwise maximum instead).
         """
+        if self.root is None:
+            flat = self.flat
+            lo, hi = int(flat.child_lo[0]), int(flat.child_hi[0])
+            if lo == hi:  # leaf root: every member in one bucket
+                if flat.elems.size == 1:
+                    return 0.0
+                return float(np.max(np.triu(self._d_block_sym(flat.elems), k=1)))
+            pivots = flat.center[lo:hi]
+            radii = np.asarray(flat.radius[lo:hi], dtype=np.float64)
+            if pivots.size == 1:
+                return 2.0 * float(radii[0])
+            spans = self._d_block_sym(pivots) + radii[:, None] + radii[None, :]
+            return float(np.max(np.triu(spans, k=1)))
         entries = self.root.entries
         if len(entries) == 1:
             return 2.0 * entries[0].radius
@@ -453,7 +500,14 @@ class MTree(MetricIndex):
         return self._distance_calls
 
     def height(self) -> int:
-        """Tree height in levels (root = 1)."""
+        """Tree height in levels (root = 1).
+
+        The insert build is depth-balanced (every leaf at the same
+        level); the bulk build is not, so its height is the flat
+        tree's maximum depth.
+        """
+        if self.root is None:
+            return self.flat.max_depth()
         h, node = 1, self.root
         while not node.is_leaf:
             h += 1

@@ -17,17 +17,28 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.index.bulk import slim_down_flat
 from repro.index.mtree import MTree, _Entry, _Node
 
 
 class SlimTree(MTree):
-    """M-tree subclass with MST-based splits and optional slim-down."""
+    """M-tree subclass with MST-based splits and optional slim-down.
+
+    With ``build="bulk"`` (the default, inherited from
+    :class:`~repro.index.mtree.MTree`) the tree is the k-way
+    farthest-point bulk-load — no MST splits happen because nothing
+    overflows — and slim-down runs as the flat in-place pass
+    (:func:`~repro.index.bulk.slim_down_flat`).  ``build="insert"``
+    keeps the classic MST-split insertion builder and object slim-down
+    as the differential baseline.
+    """
 
     def __init__(
         self, space, ids=None, *,
         capacity: int = 16, slim_down: bool = True, walk: str = "level",
+        build: str = "bulk",
     ):
-        super().__init__(space, ids, capacity=capacity, walk=walk)
+        super().__init__(space, ids, capacity=capacity, walk=walk, build=build)
         if slim_down:
             self.slim_down()
 
@@ -126,6 +137,14 @@ class SlimTree(MTree):
         moves to B, after which A's radius can shrink.  Repeats until a
         round makes no move or ``max_rounds`` is hit.
         """
+        if self.root is None:  # bulk-built: migrate in place on the flat arrays
+            stats: dict = {"distance_calls": 0}
+            moves = slim_down_flat(
+                self.space, self.flat,
+                capacity=self.capacity, max_rounds=max_rounds, stats=stats,
+            )
+            self._distance_calls += stats["distance_calls"]
+            return moves
         moves = 0
         for _ in range(max_rounds):
             moved = self._slim_down_pass(self.root)
@@ -182,7 +201,9 @@ class SlimTree(MTree):
         """
         n = len(self.ids)
         h = self.height()
-        node_count = self._count_nodes(self.root)
+        node_count = (
+            self.flat.n_nodes if self.root is None else self._count_nodes(self.root)
+        )
         if node_count <= h:
             return 0.0
         total_accesses = 0
@@ -197,6 +218,17 @@ class SlimTree(MTree):
         return 1 + sum(self._count_nodes(e.subtree) for e in node.entries if e.subtree)
 
     def _point_query_accesses(self, q: int) -> int:
+        if self.root is None:  # bulk-built: descend the flat arrays instead
+            flat = self.flat
+            accesses = 0
+            stack = [0]
+            while stack:
+                i = stack.pop()
+                accesses += 1
+                for c in range(int(flat.child_lo[i]), int(flat.child_hi[i])):
+                    if self._d(q, int(flat.center[c])) <= flat.radius[c]:
+                        stack.append(c)
+            return accesses
         accesses = 0
         stack: list[_Node] = [self.root]
         while stack:

@@ -40,7 +40,7 @@ def words():
 class TestCoverTree:
     def test_covering_invariant(self, blobs):
         """Every node's members lie within its covering radius <= base**scale."""
-        tree = CoverTree(blobs, leaf_size=4)
+        tree = CoverTree(blobs, leaf_size=4, build="insert")
         stack = [tree.root]
         while stack:
             node = stack.pop()
@@ -49,7 +49,7 @@ class TestCoverTree:
 
     def test_child_separation(self, blobs):
         """Sibling centers are separated by more than base**(scale-1)."""
-        tree = CoverTree(blobs, leaf_size=4)
+        tree = CoverTree(blobs, leaf_size=4, build="insert")
         stack = [tree.root]
         while stack:
             node = stack.pop()
@@ -61,7 +61,7 @@ class TestCoverTree:
             stack.extend(node.children)
 
     def test_nesting_first_child_keeps_center(self, blobs):
-        tree = CoverTree(blobs, leaf_size=4)
+        tree = CoverTree(blobs, leaf_size=4, build="insert")
         stack = [tree.root]
         while stack:
             node = stack.pop()
@@ -70,7 +70,7 @@ class TestCoverTree:
             stack.extend(node.children)
 
     def test_sizes_partition_members(self, blobs):
-        tree = CoverTree(blobs, leaf_size=4)
+        tree = CoverTree(blobs, leaf_size=4, build="insert")
         stack = [tree.root]
         while stack:
             node = stack.pop()
@@ -87,7 +87,7 @@ class TestCoverTree:
 
     def test_identical_points_become_leaf(self):
         space = MetricSpace(np.zeros((50, 2)))
-        tree = CoverTree(space, leaf_size=4)
+        tree = CoverTree(space, leaf_size=4, build="insert")
         assert tree.root.bucket is not None  # radius 0 short-circuits
         assert tree.count_within([0], 0.0)[0] == 50
 

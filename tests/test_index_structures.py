@@ -35,12 +35,12 @@ class TestMTreeInvariants:
     @pytest.mark.parametrize("capacity", [4, 8, 16])
     def test_covering_radii_and_sizes(self, small_points, capacity):
         space = MetricSpace(small_points)
-        tree = MTree(space, capacity=capacity)
+        tree = MTree(space, capacity=capacity, build="insert")
         _check_covering(tree, tree.root, space)
 
     def test_all_elements_reachable(self, small_points):
         space = MetricSpace(small_points)
-        tree = MTree(space, capacity=4)
+        tree = MTree(space, capacity=4, build="insert")
         if tree.root.is_leaf:
             members = [e.pivot_id for e in tree.root.entries]
         else:
@@ -49,7 +49,7 @@ class TestMTreeInvariants:
 
     def test_node_capacity_respected(self, small_points):
         space = MetricSpace(small_points)
-        tree = MTree(space, capacity=5)
+        tree = MTree(space, capacity=5, build="insert")
         stack = [tree.root]
         while stack:
             node = stack.pop()
@@ -65,7 +65,7 @@ class TestMTreeInvariants:
         assert large.height() > small.height()
 
     def test_distance_calls_tracked(self, small_points):
-        tree = MTree(MetricSpace(small_points), capacity=8)
+        tree = MTree(MetricSpace(small_points), capacity=8, build="insert")
         before = tree.distance_calls
         tree.count_within(np.array([0]), 1.0)
         assert tree.distance_calls > before
@@ -78,7 +78,7 @@ class TestMTreeInvariants:
 class TestSlimTree:
     def test_covering_invariant_after_slim_down(self, small_points):
         space = MetricSpace(small_points)
-        tree = SlimTree(space, capacity=4, slim_down=True)
+        tree = SlimTree(space, capacity=4, slim_down=True, build="insert")
         _check_covering(tree, tree.root, space)
 
     def test_counts_still_exact_after_slim_down(self, small_points):

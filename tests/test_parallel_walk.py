@@ -249,7 +249,7 @@ class TestEngineParallelMode:
         )
 
     def test_supports_sharding_does_not_trigger_freeze(self, vspace):
-        tree = MTree(vspace, capacity=4)
+        tree = MTree(vspace, capacity=4, build="insert")
         assert supports_sharding(tree)
         assert tree._flat is None  # asking the question froze nothing
 
