@@ -1,0 +1,215 @@
+"""HTTP serving bench: micro-batching latency/throughput over the wire.
+
+The scoring tier's claim (``src/repro/serve``) is that coalescing
+concurrent single-row requests into shared engine batches buys
+throughput without giving up correctness.  This bench measures both
+halves end to end — real sockets, real HTTP parsing, real asyncio
+clients — against an in-process :class:`repro.serve.ScoringServer`:
+
+- **latency vs batch window** — a fixed fleet of concurrent single-row
+  clients, swept across ``window_s`` (0 = strict per-request serving,
+  the no-coalescing baseline).  The JSON records the throughput win of
+  the best window over the window-0 baseline as ``batching_speedup``.
+- **throughput vs concurrency** — a fixed window, swept across fleet
+  sizes: adaptive batching should turn added concurrency into larger
+  engine batches, not proportionally more engine calls.
+
+Before any timing, every probe row is scored over HTTP and compared
+bit-for-bit against direct ``score_batch`` — a run that is not
+bit-identical refuses to produce numbers.
+
+Results land in ``benchmarks/results/BENCH_http.json`` (plus text
+tables).
+
+Run:  python benchmarks/bench_http_serving.py [--n N] [--requests R]
+(``--smoke`` runs one tiny configuration for CI; REPRO_BENCH_SCALE
+multiplies the default sizes as usual).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import time
+
+import numpy as np
+
+from _common import format_table, machine_info, results_path, scaled, write_result
+from repro.api import make_estimator
+from repro.serve import ScoreClient, ScoringServer
+
+BOOST = scaled(1.0, lo=0.02, hi=20.0)
+
+SPEC = "mccatch?index=vptree"
+DIM = 4
+
+DEFAULT_N = int(4_000 * BOOST)
+DEFAULT_REQUESTS = max(4, int(25 * BOOST))
+WINDOWS_MS = [0.0, 1.0, 2.0, 5.0, 10.0]
+FLEETS = [1, 4, 8, 16, 32]
+FIXED_FLEET = 32
+FIXED_WINDOW_MS = 2.0
+
+
+def _dataset(n: int) -> np.ndarray:
+    rng = np.random.default_rng(0)
+    return np.vstack([rng.normal(size=(n, DIM)), [[9.0] * DIM, [9.1] + [9.0] * (DIM - 1)]])
+
+
+async def _verify_bit_identity(model, rows: np.ndarray) -> dict:
+    """Score every probe row over HTTP; must equal score_batch bit-for-bit."""
+    direct = np.asarray(model.score_batch(rows), dtype=np.float64)
+    server = await ScoringServer(model, port=0, window_s=0.002).start()
+    try:
+        async def one(i):
+            client = await ScoreClient.connect("127.0.0.1", server.port)
+            try:
+                return await client.score_row(rows[i])
+            finally:
+                await client.close()
+
+        # concurrent single-row clients: the coalescing path, not a loop
+        scores = await asyncio.gather(*(one(i) for i in range(len(rows))))
+    finally:
+        await server.stop()
+    identical = bool(np.array_equal(np.asarray(scores, dtype=np.float64), direct))
+    if not identical:
+        raise AssertionError(
+            "HTTP scores are not bit-identical to direct score_batch; "
+            "refusing to benchmark a broken serving path"
+        )
+    return {"rows": int(len(rows)), "identical": identical}
+
+
+async def _run_load(
+    model, rows: np.ndarray, *, window_s: float, fleet: int, requests: int
+) -> dict:
+    """One configuration: `fleet` concurrent clients, `requests` rows each."""
+    server = await ScoringServer(model, port=0, window_s=window_s).start()
+    try:
+        async def client_task(ci: int) -> list[float]:
+            client = await ScoreClient.connect("127.0.0.1", server.port)
+            latencies = []
+            try:
+                for j in range(requests):
+                    row = rows[(ci * requests + j) % len(rows)]
+                    t0 = time.perf_counter()
+                    await client.score_row(row)
+                    latencies.append(time.perf_counter() - t0)
+            finally:
+                await client.close()
+            return latencies
+
+        t0 = time.perf_counter()
+        per_client = await asyncio.gather(*(client_task(i) for i in range(fleet)))
+        wall_s = time.perf_counter() - t0
+        batcher = server.batcher
+        counters = {
+            "batches": batcher.batches_dispatched,
+            "mean_batch_rows": round(batcher.mean_batch_rows, 3),
+            "largest_batch": batcher.largest_batch,
+        }
+    finally:
+        await server.stop()
+    latencies = np.array([lat for client in per_client for lat in client])
+    total = int(latencies.size)
+    return {
+        "window_ms": round(window_s * 1e3, 3),
+        "concurrency": fleet,
+        "requests": total,
+        "wall_s": round(wall_s, 6),
+        "throughput_rps": round(total / wall_s, 2),
+        "latency_mean_ms": round(float(latencies.mean()) * 1e3, 3),
+        "latency_p50_ms": round(float(np.percentile(latencies, 50)) * 1e3, 3),
+        "latency_p95_ms": round(float(np.percentile(latencies, 95)) * 1e3, 3),
+        **counters,
+    }
+
+
+async def _bench(model, rows, *, windows_ms, fleets, fixed_fleet,
+                 fixed_window_ms, requests) -> dict:
+    payload = {
+        "spec": SPEC,
+        "n": int(np.asarray(model.training_data).shape[0]),
+        "dim": DIM,
+        "requests_per_client": requests,
+        "bit_identity": await _verify_bit_identity(model, rows),
+    }
+    payload["latency_vs_window"] = [
+        await _run_load(model, rows, window_s=w / 1e3, fleet=fixed_fleet,
+                        requests=requests)
+        for w in windows_ms
+    ]
+    payload["throughput_vs_concurrency"] = [
+        await _run_load(model, rows, window_s=fixed_window_ms / 1e3, fleet=c,
+                        requests=requests)
+        for c in fleets
+    ]
+    # the acceptance number: best coalescing window vs strict per-request
+    by_window = {r["window_ms"]: r["throughput_rps"] for r in payload["latency_vs_window"]}
+    baseline = by_window.get(0.0)
+    batched = max(v for k, v in by_window.items() if k > 0.0)
+    payload["batching_speedup"] = round(batched / baseline, 3) if baseline else None
+    return payload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=DEFAULT_N,
+                        help=f"fitted dataset size (default {DEFAULT_N})")
+    parser.add_argument("--requests", type=int, default=DEFAULT_REQUESTS,
+                        help="single-row requests per client per configuration")
+    parser.add_argument("--smoke", action="store_true",
+                        help="one tiny configuration (CI)")
+    args = parser.parse_args()
+
+    if args.smoke:
+        n, requests = 400, 4
+        windows_ms, fleets = [0.0, 2.0], [8]
+        fixed_fleet, fixed_window_ms = 8, 2.0
+    else:
+        n, requests = args.n, args.requests
+        windows_ms, fleets = WINDOWS_MS, FLEETS
+        fixed_fleet, fixed_window_ms = FIXED_FLEET, FIXED_WINDOW_MS
+
+    X = _dataset(n)
+    rng = np.random.default_rng(1)
+    rows = rng.normal(size=(64, DIM))
+    model = make_estimator(SPEC).fit(X)
+
+    payload = asyncio.run(_bench(
+        model, rows, windows_ms=windows_ms, fleets=fleets,
+        fixed_fleet=fixed_fleet, fixed_window_ms=fixed_window_ms,
+        requests=requests,
+    ))
+    payload["machine"] = machine_info()
+    results_path("BENCH_http.json").write_text(json.dumps(payload, indent=2) + "\n")
+
+    def _rows(records):
+        return [
+            [r["window_ms"], r["concurrency"], r["requests"],
+             f"{r['throughput_rps']:.0f}", f"{r['latency_p50_ms']:.2f}",
+             f"{r['latency_p95_ms']:.2f}", f"{r['mean_batch_rows']:.1f}",
+             r["largest_batch"]]
+            for r in records
+        ]
+
+    headers = ["window (ms)", "clients", "requests", "req/s", "p50 (ms)",
+               "p95 (ms)", "mean batch", "max batch"]
+    table1 = format_table(
+        headers, _rows(payload["latency_vs_window"]),
+        title=(f"HTTP serving: latency vs batch window — {SPEC}, n={payload['n']}, "
+               f"{fixed_fleet} concurrent single-row clients "
+               f"(batching speedup {payload['batching_speedup']}x)"),
+    )
+    table2 = format_table(
+        headers, _rows(payload["throughput_vs_concurrency"]),
+        title=(f"HTTP serving: throughput vs concurrency — window "
+               f"{fixed_window_ms} ms"),
+    )
+    write_result("http_serving", table1 + "\n\n" + table2)
+
+
+if __name__ == "__main__":
+    main()

@@ -243,6 +243,43 @@ class ModelRegistry:
             mmap=mmap,
         )
 
+    def latest_version(
+        self,
+        spec: str,
+        *,
+        fingerprint: str | None = None,
+        data=None,
+    ) -> int | None:
+        """The newest *completed* version of one key, or ``None``.
+
+        The cheap freshness probe a serving watcher polls: with the
+        fingerprint pinned this is one directory scan of the key's own
+        directory — no registry-wide walk, no ``meta.json`` parsing —
+        so it can run every couple of seconds against a large registry.
+        Versions are monotone, so the returned integer doubles as a
+        change token: it grows iff something new was published.
+
+        Concurrent-publish safe: a version directory that has been
+        *claimed* (``mkdir`` won) but whose artifact or ``meta.json``
+        is still being written is not completed and is not reported —
+        the same completeness marker every other read path keys on.
+
+        Without a pinned ``fingerprint`` (or ``data`` to derive one)
+        the key is resolved the expensive way, via :meth:`record`; a
+        polling loop should resolve the fingerprint once up front and
+        pin it.
+        """
+        spec = self._canonical(spec)
+        if fingerprint is None and data is not None:
+            fingerprint = dataset_fingerprint(data)
+        if fingerprint is None:
+            try:
+                return self.record(spec).version
+            except LookupError:
+                return None
+        versions = self._versions(self._key_dir(spec, fingerprint))
+        return max(versions) if versions else None
+
     def list(self, *, spec: str | None = None) -> list[ModelRecord]:
         """All published artifacts, optionally filtered to one spec."""
         wanted = self._canonical(spec) if spec is not None else None

@@ -26,6 +26,12 @@ Commands
     Inspect a model registry: ``models list`` shows the published
     artifacts, ``models resolve`` prints the artifact one spec/version
     resolves to, ``models publish`` fits and publishes in one step.
+``serve``
+    Long-lived HTTP scoring tier (``POST /score``, ``GET /healthz``,
+    ``GET /model``) over a registry-resolved or saved model, with
+    adaptive micro-batching, optional mmap-attached worker processes
+    (``--workers N``), and hot model swap when a new version is
+    published (``--poll``).
 ``datasets``
     List the built-in dataset generators and their Table III metadata.
 ``demo``
@@ -176,6 +182,46 @@ def _build_parser() -> argparse.ArgumentParser:
     m_publish.add_argument("--spec", default="mccatch?index=vptree",
                            help="detector spec (default mccatch?index=vptree)")
     m_publish.add_argument("--delimiter", default=",", help="CSV delimiter (default ',')")
+
+    serve = sub.add_parser(
+        "serve", help="serve a fitted model over HTTP with adaptive micro-batching"
+    )
+    serve.add_argument("--spec", default=None,
+                       help="detector spec to resolve from --registry, "
+                            "e.g. 'mccatch?a=15' (same index-default rewrite "
+                            "as fit/score)")
+    serve.add_argument("--registry", metavar="DIR", default=None,
+                       help="model registry to resolve --spec from (and to "
+                            "watch for new versions)")
+    serve.add_argument("--model", metavar="PATH", default=None,
+                       help="serve this saved model .npz instead of resolving "
+                            "a registry spec (no hot swap)")
+    serve.add_argument("--fingerprint", default=None,
+                       help="dataset fingerprint selecting the registry key "
+                            "(default: the spec's only published fingerprint)")
+    serve.add_argument("--model-version", type=int, default=None,
+                       help="pin one registry version (disables hot swap; "
+                            "default: latest, then follow new publishes)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8787,
+                       help="bind port (default 8787; 0 picks a free port)")
+    serve.add_argument("--workers", type=int, default=0, metavar="N",
+                       help="score on N worker processes mmap-attached to the "
+                            "model artifact (default 0: score in-process)")
+    serve.add_argument("--window-ms", type=float, default=2.0,
+                       help="micro-batch window: max milliseconds a request "
+                            "waits to coalesce with concurrent ones "
+                            "(default 2.0; 0 = per-request serving)")
+    serve.add_argument("--max-batch", type=int, default=256,
+                       help="max rows per coalesced engine batch (default 256)")
+    serve.add_argument("--max-rows", type=int, default=4096,
+                       help="max rows one request may carry (default 4096)")
+    serve.add_argument("--poll", type=float, default=2.0,
+                       help="seconds between registry polls for hot model "
+                            "swap (default 2.0; 0 disables watching)")
+    serve.add_argument("--no-mmap", action="store_true",
+                       help="materialize the model instead of memory-mapping "
+                            "the artifact")
 
     sub.add_parser("datasets", help="list the built-in dataset generators")
 
@@ -611,6 +657,107 @@ def _cmd_models(args) -> int:
     return 0
 
 
+def _resolve_served_model(args):
+    """What `repro serve` should stand up: ``(model, server_kwargs,
+    watcher_key_or_None)``."""
+    from repro.api import ModelRegistry, load_model
+
+    if (args.spec is None) == (args.model is None):
+        raise SystemExit(
+            "error: pass exactly one of --spec (resolved from --registry) "
+            "or --model PATH"
+        )
+    mmap = not args.no_mmap
+    if args.model is not None:
+        if args.registry or args.fingerprint or args.model_version is not None:
+            raise SystemExit(
+                "error: --registry/--fingerprint/--model-version select a "
+                "registry artifact; they go with --spec, not --model"
+            )
+        import zipfile
+
+        try:
+            model = load_model(args.model, mmap=mmap)
+        except (ValueError, OSError, zipfile.BadZipFile) as exc:
+            raise SystemExit(f"error: {exc}") from exc
+        return model, {"artifact": args.model, "spec": model.spec}, None
+    if not args.registry:
+        raise SystemExit("error: --spec needs --registry DIR to resolve from")
+    registry = ModelRegistry(args.registry)
+    try:
+        spec = _default_index_into_spec(args.spec, "vptree").spec
+        record = registry.record(
+            spec, fingerprint=args.fingerprint, version=args.model_version
+        )
+    except (ValueError, LookupError) as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    model = load_model(record.path, mmap=mmap)
+    kwargs = {
+        "artifact": record.path,
+        "spec": record.spec,
+        "version": record.version,
+        "fingerprint": record.fingerprint,
+    }
+    # a pinned --model-version is a request to serve exactly that
+    # version; following newer publishes would un-pin it
+    watch = None
+    if args.poll > 0 and args.model_version is None:
+        watch = (registry, record.spec, record.fingerprint)
+    return model, kwargs, watch
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import RegistryWatcher, ScoringServer
+
+    model, server_kwargs, watch = _resolve_served_model(args)
+    try:
+        server = ScoringServer(
+            model,
+            host=args.host,
+            port=args.port,
+            window_s=args.window_ms / 1000.0,
+            max_batch=args.max_batch,
+            max_rows=args.max_rows,
+            workers=args.workers,
+            **server_kwargs,
+        )
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}") from exc
+
+    async def _run() -> None:
+        await server.start()
+        watcher = None
+        if watch is not None:
+            registry, spec, fingerprint = watch
+            watcher = RegistryWatcher(
+                server, registry, spec, fingerprint,
+                poll_s=args.poll, mmap=not args.no_mmap,
+            ).start()
+        described = server.served.describe()
+        print(f"serving {described['spec']}  n={described['n_fitted']}  "
+              f"version={described['version']}")
+        print(f"listening on http://{args.host}:{server.port}  "
+              f"(window={args.window_ms:g}ms, max_batch={args.max_batch}, "
+              f"workers={args.workers}"
+              + (f", polling registry every {args.poll:g}s" if watcher else "")
+              + ")")
+        print("endpoints: POST /score  GET /healthz  GET /model  (Ctrl-C stops)")
+        try:
+            await server.serve_forever()
+        finally:
+            if watcher is not None:
+                await watcher.stop()
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
 def _cmd_datasets(_args) -> int:
     print(f"{'name':<22}{'kind':<10}{'paper n':>10}  notes")
     for name in dataset_names():
@@ -648,6 +795,7 @@ def main(argv: list[str] | None = None) -> int:
         "fit": _cmd_fit,
         "score": _cmd_score,
         "models": _cmd_models,
+        "serve": _cmd_serve,
         "datasets": _cmd_datasets,
         "demo": _cmd_demo,
     }

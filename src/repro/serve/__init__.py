@@ -1,0 +1,43 @@
+"""``repro.serve`` — the asyncio HTTP scoring tier.
+
+The serving half of the fit-once-serve-many story: a long-lived
+stdlib-only HTTP server over any published
+:class:`~repro.api.base.FittedModel`, built from four pieces that
+compose but also stand alone:
+
+- :class:`~repro.serve.batching.MicroBatcher` — adaptive
+  micro-batching: concurrent single-row requests coalesce into one
+  engine batch under a max-latency window, scores fanned back out
+  bit-identical to direct ``score_batch``.
+- :class:`~repro.serve.workers.ScoringWorkerPool` — N worker processes
+  that mmap-attach to the published ``.npz`` artifact, sharing one
+  page-cache copy of the index.
+- :class:`~repro.serve.server.ScoringServer` — ``POST /score`` /
+  ``GET /healthz`` / ``GET /model`` with structured 4xx errors at the
+  serving boundary.
+- :class:`~repro.serve.watcher.RegistryWatcher` — polls
+  ``ModelRegistry.latest_version`` and hot-swaps the served model
+  between engine batches, draining requests in flight.
+
+Surfaced on the command line as ``repro serve --spec ... --registry
+... --workers N --port P``; driven programmatically (and by the load
+bench) through :class:`~repro.serve.client.ScoreClient`.
+"""
+
+from repro.serve.batching import BatcherClosed, MicroBatcher
+from repro.serve.client import ScoreClient
+from repro.serve.server import HttpError, ScoringServer, ServedModel
+from repro.serve.watcher import RegistryWatcher
+from repro.serve.workers import ScoringWorkerPool, attachment_report
+
+__all__ = [
+    "BatcherClosed",
+    "HttpError",
+    "MicroBatcher",
+    "RegistryWatcher",
+    "ScoreClient",
+    "ScoringServer",
+    "ScoringWorkerPool",
+    "ServedModel",
+    "attachment_report",
+]

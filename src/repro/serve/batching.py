@@ -1,0 +1,216 @@
+"""Adaptive micro-batching: coalesce concurrent requests into engine batches.
+
+The whole perf trajectory of this repo (PRs 1/4/6) says the same thing:
+the engine is fast *per batch*, not per call.  A scoring server that
+forwards each single-row request straight to
+:meth:`~repro.api.base.FittedModel.score_batch` pays the full per-call
+overhead — batch validation, engine setup, kernel dispatch — once per
+row.  :class:`MicroBatcher` moves that overhead to once per *window*:
+concurrent requests land in an asyncio queue, a collector task drains
+them into one ``(b, d)`` block, scores the block with a single
+``score_batch`` call, and fans the score slices back out through
+per-request futures.
+
+The batching is *adaptive* in the sense that batch size self-tunes to
+the arrival rate between two hard bounds:
+
+- ``window_s`` caps the extra latency any request can pay: the first
+  request of a batch waits at most one window for company.  Idle
+  traffic therefore serves at (score time + window); saturated traffic
+  forms full batches without ever sleeping, because the queue is never
+  empty when the collector looks.
+- ``max_batch`` caps the rows per engine call, so one burst cannot
+  build an unboundedly large (and unboundedly late) batch.
+
+``window_s=0`` disables coalescing entirely — every request is its own
+engine batch — which is exactly the per-request baseline the serving
+bench contrasts against.
+
+Correctness rests on a property this repo pins in its differential
+tests: scoring is row-independent and the bulk kernels are bitwise
+shape-independent (the einsum cross-term of PR 1), so the rows of
+``score_batch(concat(r1, r2))`` equal ``score_batch(r1)`` +
+``score_batch(r2)`` bit for bit.  ``tests/test_serve.py`` re-pins it
+end to end through the HTTP boundary.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable
+
+import numpy as np
+
+#: Queue sentinel: placed after the last accepted request by
+#: :meth:`MicroBatcher.drain`, so FIFO order guarantees every real
+#: request is dispatched before the collector exits.
+_STOP = object()
+
+
+class BatcherClosed(RuntimeError):
+    """Raised by :meth:`MicroBatcher.submit` once draining has begun."""
+
+
+class MicroBatcher:
+    """Coalesce concurrent score requests into one engine batch.
+
+    Parameters
+    ----------
+    score_rows:
+        Async callable mapping one ``(b, d)`` float64 block to ``b``
+        scores.  Called once per formed batch; the callable decides
+        *where* scoring runs (inline, thread, or an mmap-attached
+        worker process — see :mod:`repro.serve.workers`).
+    window_s:
+        Maximum seconds the first request of a batch waits for more
+        rows.  ``0`` serves strictly per-request.
+    max_batch:
+        Maximum rows per engine call.
+    """
+
+    def __init__(
+        self,
+        score_rows: Callable[[np.ndarray], Awaitable[np.ndarray]],
+        *,
+        window_s: float = 0.002,
+        max_batch: int = 256,
+    ):
+        if window_s < 0:
+            raise ValueError(f"window_s must be >= 0, got {window_s}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self._score_rows = score_rows
+        self.window_s = float(window_s)
+        self.max_batch = int(max_batch)
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._collector: asyncio.Task | None = None
+        self._closed = False
+        # served-traffic counters, surfaced by GET /healthz
+        self.rows_scored = 0
+        self.batches_dispatched = 0
+        self.largest_batch = 0
+
+    # -- request side --------------------------------------------------------
+
+    async def submit(self, rows: np.ndarray) -> tuple[np.ndarray, int]:
+        """Score ``rows`` (shape ``(b, d)``), coalesced with concurrent calls.
+
+        Returns ``(scores, batched_rows)``: the ``b`` scores for exactly
+        these rows — bit-identical to a direct ``score_batch(rows)`` —
+        and the total size of the engine batch they rode in (the
+        coalescing win, made observable per request).
+        """
+        if self._closed:
+            raise BatcherClosed("server is draining; no new requests accepted")
+        self._ensure_collector()
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._queue.put_nowait((rows, future))
+        return await future
+
+    @property
+    def pending(self) -> int:
+        """Requests queued but not yet dispatched to the engine."""
+        return self._queue.qsize()
+
+    @property
+    def mean_batch_rows(self) -> float:
+        """Mean rows per engine call so far (1.0 = no coalescing won)."""
+        if self.batches_dispatched == 0:
+            return 0.0
+        return self.rows_scored / self.batches_dispatched
+
+    # -- collector side ------------------------------------------------------
+
+    def _ensure_collector(self) -> None:
+        if self._collector is None or self._collector.done():
+            self._collector = asyncio.get_running_loop().create_task(
+                self._collect(), name="repro-serve-microbatch"
+            )
+
+    async def _collect(self) -> None:
+        """The batch-forming loop: wait, gather a window, dispatch."""
+        loop = asyncio.get_running_loop()
+        while True:
+            head = await self._queue.get()
+            if head is _STOP:
+                return
+            batch = [head]
+            total = head[0].shape[0]
+            stop_after = False
+            if self.window_s > 0.0:
+                deadline = loop.time() + self.window_s
+                while total < self.max_batch:
+                    if not self._queue.empty():
+                        item = self._queue.get_nowait()  # backlog: no sleep
+                    else:
+                        timeout = deadline - loop.time()
+                        if timeout <= 0.0:
+                            break
+                        try:
+                            item = await asyncio.wait_for(self._queue.get(), timeout)
+                        except asyncio.TimeoutError:
+                            break
+                    if item is _STOP:
+                        stop_after = True
+                        break
+                    batch.append(item)
+                    total += item[0].shape[0]
+            await self._dispatch(batch, total)
+            if stop_after:
+                return
+
+    async def _dispatch(self, batch: list, total: int) -> None:
+        """One engine call for the gathered requests, scores fanned out.
+
+        Concatenation order is queue order; each future receives its
+        own contiguous score slice, so interleaving requests never
+        mixes rows up.
+        """
+        requests = [(rows, fut) for rows, fut in batch if not fut.cancelled()]
+        if not requests:
+            return
+        if len(requests) == 1:
+            block = requests[0][0]
+        else:
+            block = np.concatenate([rows for rows, _ in requests], axis=0)
+        try:
+            scores = await self._score_rows(block)
+        except Exception as exc:  # noqa: BLE001 - forwarded to every waiter
+            for _, future in requests:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        self.batches_dispatched += 1
+        self.rows_scored += int(block.shape[0])
+        self.largest_batch = max(self.largest_batch, int(block.shape[0]))
+        offset = 0
+        for rows, future in requests:
+            b = rows.shape[0]
+            if not future.done():
+                future.set_result((scores[offset : offset + b], int(block.shape[0])))
+            offset += b
+
+    # -- shutdown ------------------------------------------------------------
+
+    async def drain(self) -> None:
+        """Stop accepting requests, then score everything already queued.
+
+        Every submitted request resolves (FIFO: the stop sentinel sits
+        behind all accepted work), which is what lets the server answer
+        in-flight HTTP requests before closing their connections.
+        """
+        if self._closed:
+            if self._collector is not None:
+                await self._collector
+            return
+        self._closed = True
+        if self._collector is None or self._collector.done():
+            return  # nothing ever submitted (or collector already exited)
+        self._queue.put_nowait(_STOP)
+        await self._collector
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MicroBatcher(window_s={self.window_s}, max_batch={self.max_batch}, "
+            f"batches={self.batches_dispatched}, mean_rows={self.mean_batch_rows:.1f})"
+        )

@@ -1,0 +1,89 @@
+"""A minimal asyncio HTTP/1.1 client for the scoring tier.
+
+Just enough client to drive :class:`~repro.serve.server.ScoringServer`
+from tests, benchmarks, and examples without pulling in a dependency:
+one persistent (keep-alive) connection, JSON in, JSON out.  Not a
+general HTTP client — it speaks exactly the dialect the server emits
+(``Content-Length`` bodies, no chunked encoding).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+
+
+class ScoreClient:
+    """One keep-alive connection to a scoring server.
+
+    Usage::
+
+        client = await ScoreClient.connect("127.0.0.1", 8787)
+        scores = await client.score_rows([[0.1, 0.2], [3.4, 5.6]])
+        await client.close()
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ScoreClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> tuple[int, dict]:
+        """One round trip; returns ``(status_code, decoded_json_body)``."""
+        body = b"" if payload is None else json.dumps(payload).encode()
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            "Host: localhost\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "\r\n"
+        )
+        self._writer.write(head.encode("latin-1") + body)
+        await self._writer.drain()
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        status = int(status_line.split()[1])
+        length = 0
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        data = await self._reader.readexactly(length) if length else b""
+        return status, json.loads(data) if data else {}
+
+    async def score_rows(self, rows) -> np.ndarray:
+        """Score a batch; raises ``RuntimeError`` on a structured error."""
+        status, payload = await self.request(
+            "POST", "/score", {"rows": np.asarray(rows, dtype=float).tolist()}
+        )
+        if status != 200:
+            error = payload.get("error", {})
+            raise RuntimeError(
+                f"score failed ({status} {error.get('code')}): "
+                f"{error.get('message')}"
+            )
+        return np.asarray(payload["scores"], dtype=np.float64)
+
+    async def score_row(self, row) -> float:
+        """Score one vector (the micro-batching hot path)."""
+        scores = await self.score_rows(np.asarray(row, dtype=float).reshape(1, -1))
+        return float(scores[0])
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass

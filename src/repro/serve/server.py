@@ -1,0 +1,535 @@
+"""The asyncio HTTP scoring tier: ``POST /score`` over a fitted model.
+
+Stdlib only — ``asyncio`` streams plus hand-parsed HTTP/1.1 (the
+request grammar a scoring endpoint needs is tiny: request line,
+headers, ``Content-Length`` body, keep-alive).  Three endpoints:
+
+- ``POST /score`` — body ``{"row": [...]}`` or ``{"rows": [[...], ...]}``;
+  answers ``{"scores": [...], "model": {...}, "batched_rows": b}`` where
+  ``batched_rows`` is the size of the engine batch this request rode in
+  (the micro-batching win, made observable).
+- ``GET /healthz`` — liveness plus the batching counters.
+- ``GET /model`` — what is being served: spec, registry version,
+  fingerprint, swap count.
+
+Requests pass through :class:`~repro.serve.batching.MicroBatcher`, so
+concurrent single-row clients are scored as one engine batch.  Scoring
+runs off the event loop — in a thread (``workers=0``; the engine's
+bulk kernels release the GIL) or on an mmap-attached
+:class:`~repro.serve.workers.ScoringWorkerPool` — so the loop keeps
+accepting and coalescing requests while a batch is being scored.
+
+The serving boundary is hardened: malformed JSON, wrong-width rows,
+non-finite values, and oversized batches come back as structured 4xx
+JSON errors (``{"error": {"code": ..., "message": ...}}``), never as
+connection-killing 500s.  Width checking reuses the same
+:func:`repro.utils.validation.as_batch_rows` guard every other serving
+path goes through.
+
+Hot swap: :meth:`ScoringServer.swap_model` atomically replaces the
+served :class:`ServedModel` *between* engine batches — each batch
+dispatch snapshots the holder once, so in-flight batches drain against
+the model they started with while new batches score on the new version
+(see :mod:`repro.serve.watcher` for the registry-polling side).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import tempfile
+import weakref
+from dataclasses import dataclass
+from http import HTTPStatus
+from pathlib import Path
+
+import numpy as np
+
+from repro.api.base import FittedModel
+from repro.serve.batching import BatcherClosed, MicroBatcher
+from repro.serve.workers import ScoringWorkerPool
+from repro.utils.validation import as_batch_rows
+
+#: Largest request line / header line the parser accepts.
+_MAX_HEADER_LINE = 8192
+#: Largest request body (bytes) the parser accepts before 413.
+_MAX_BODY_BYTES = 32 * 1024 * 1024
+
+
+class HttpError(Exception):
+    """A structured client-facing error (becomes a 4xx JSON response)."""
+
+    def __init__(self, status: HTTPStatus, code: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+@dataclass(frozen=True)
+class ServedModel:
+    """One immutable generation of the served model.
+
+    Swaps replace the whole object, so a batch that snapshotted one
+    generation keeps a consistent (model, artifact, metadata) triple
+    for its entire dispatch.
+    """
+
+    model: FittedModel
+    artifact: str | None = None  # .npz path workers attach to
+    spec: str | None = None
+    version: int | None = None
+    fingerprint: str | None = None
+    generation: int = 0
+
+    @property
+    def dimensionality(self) -> int:
+        return int(np.asarray(self.model.training_data).shape[1])
+
+    def describe(self) -> dict:
+        return {
+            "spec": self.spec if self.spec is not None else self.model.spec,
+            "version": self.version,
+            "fingerprint": self.fingerprint,
+            "generation": self.generation,
+            "n_fitted": self.model.n_fitted,
+            "dimensionality": self.dimensionality,
+        }
+
+
+class ScoringServer:
+    """Serve one fitted model over HTTP with adaptive micro-batching.
+
+    Parameters
+    ----------
+    model:
+        The fitted model to serve (vector data: the HTTP boundary is
+        JSON rows).  Must retain its training data — the width guard
+        and the worker artifact need it.
+    artifact:
+        Path of the model's published uncompressed ``.npz``
+        (e.g. ``ModelRecord.path``).  Required only with ``workers > 0``
+        — it is what the worker processes mmap-attach to; without one
+        the server publishes the model to a temporary artifact itself.
+    spec, version, fingerprint:
+        Registry metadata surfaced by ``GET /model`` and used by the
+        hot-swap watcher.
+    host, port:
+        Bind address; ``port=0`` picks a free port (see :attr:`port`).
+    window_s, max_batch:
+        Micro-batching knobs (see :class:`MicroBatcher`).
+    max_rows:
+        Largest row count one request may carry (413 above it).
+    workers:
+        ``0`` scores in a thread of this process; ``N >= 1`` scores on
+        N mmap-attached worker processes.
+    """
+
+    def __init__(
+        self,
+        model: FittedModel,
+        *,
+        artifact: str | Path | None = None,
+        spec: str | None = None,
+        version: int | None = None,
+        fingerprint: str | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        window_s: float = 0.002,
+        max_batch: int = 256,
+        max_rows: int = 4096,
+        workers: int = 0,
+    ):
+        if model.training_data is None or np.asarray(model.training_data).ndim != 2:
+            raise TypeError(
+                "ScoringServer needs a vector model that retains its training "
+                "data (the serving boundary validates request width against it)"
+            )
+        if max_rows < 1:
+            raise ValueError(f"max_rows must be >= 1, got {max_rows}")
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.host = host
+        self._requested_port = int(port)
+        self.max_rows = int(max_rows)
+        self.workers = int(workers)
+        self._pool = ScoringWorkerPool(workers) if workers > 0 else None
+        self._owned_artifact: Path | None = None
+        if workers > 0 and artifact is None:
+            artifact = self._publish_temp_artifact(model)
+        self._served = ServedModel(
+            model,
+            artifact=None if artifact is None else str(artifact),
+            spec=spec,
+            version=version,
+            fingerprint=fingerprint,
+            generation=0,
+        )
+        self.swaps = 0
+        self.batcher = MicroBatcher(
+            self._score_block, window_s=window_s, max_batch=max_batch
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: weakref.WeakSet = weakref.WeakSet()
+        self._inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._stopping = False
+        self.requests_served = 0
+
+    # -- model generations ---------------------------------------------------
+
+    @property
+    def served(self) -> ServedModel:
+        """The current generation (snapshot this once per use)."""
+        return self._served
+
+    def swap_model(
+        self,
+        model: FittedModel,
+        *,
+        artifact: str | Path | None = None,
+        spec: str | None = None,
+        version: int | None = None,
+        fingerprint: str | None = None,
+    ) -> ServedModel:
+        """Atomically serve ``model`` from the next engine batch on.
+
+        In-flight batches hold their own :class:`ServedModel` snapshot
+        and drain against the old generation; nothing is interrupted.
+        With workers, the new artifact path misses the workers' attach
+        cache, so they map the new version on first use.
+        """
+        if self._pool is not None and artifact is None:
+            raise ValueError(
+                "hot swap with worker processes needs the new model's "
+                "artifact path (workers attach by path, not by pickle)"
+            )
+        old = self._served
+        self._served = ServedModel(
+            model,
+            artifact=None if artifact is None else str(artifact),
+            spec=spec if spec is not None else old.spec,
+            version=version,
+            fingerprint=fingerprint if fingerprint is not None else old.fingerprint,
+            generation=old.generation + 1,
+        )
+        self.swaps += 1
+        return self._served
+
+    def _publish_temp_artifact(self, model: FittedModel) -> Path:
+        """Self-publish ``model`` so workers have something to attach to."""
+        directory = Path(tempfile.mkdtemp(prefix="repro-serve-"))
+        path = directory / "model.npz"
+        model.save(path)
+        self._owned_artifact = path
+        return path
+
+    # -- scoring -------------------------------------------------------------
+
+    async def _score_block(self, rows: np.ndarray) -> np.ndarray:
+        """Score one formed batch off the event loop.
+
+        The generation snapshot happens here — once per engine batch —
+        which is exactly the "swap between batches" contract.
+        """
+        served = self._served
+        if self._pool is not None:
+            return await self._pool.score(served.artifact, rows)
+        return await asyncio.get_running_loop().run_in_executor(
+            None, lambda: np.asarray(served.model.score_batch(rows))
+        )
+
+    def _parse_rows(self, body: bytes) -> np.ndarray:
+        """Request body -> validated ``(b, d)`` rows, or a structured 4xx."""
+        try:
+            payload = json.loads(body)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(
+                HTTPStatus.BAD_REQUEST, "bad_json", f"request body is not JSON: {exc}"
+            ) from exc
+        if not isinstance(payload, dict) or ("row" in payload) == ("rows" in payload):
+            raise HttpError(
+                HTTPStatus.BAD_REQUEST,
+                "bad_request",
+                'body must be a JSON object with exactly one of "row" '
+                '(one vector) or "rows" (a list of vectors)',
+            )
+        raw = [payload["row"]] if "row" in payload else payload["rows"]
+        try:
+            rows = np.asarray(raw, dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise HttpError(
+                HTTPStatus.BAD_REQUEST,
+                "bad_batch",
+                f"rows are not numeric vectors of one width: {exc}",
+            ) from exc
+        if rows.size == 0:
+            raise HttpError(
+                HTTPStatus.BAD_REQUEST, "bad_batch", "rows must not be empty"
+            )
+        if rows.ndim > 2:
+            raise HttpError(
+                HTTPStatus.BAD_REQUEST,
+                "bad_batch",
+                f"rows must be vectors, got a {rows.ndim}-dimensional block",
+            )
+        if rows.ndim == 2 and rows.shape[0] > self.max_rows:
+            raise HttpError(
+                HTTPStatus.REQUEST_ENTITY_TOO_LARGE,
+                "too_many_rows",
+                f"request carries {rows.shape[0]} rows; this server accepts "
+                f"at most {self.max_rows} per request",
+            )
+        try:
+            rows = as_batch_rows(rows, self._served.dimensionality)
+        except ValueError as exc:
+            raise HttpError(HTTPStatus.BAD_REQUEST, "bad_batch", str(exc)) from exc
+        if not np.isfinite(rows).all():
+            raise HttpError(
+                HTTPStatus.BAD_REQUEST,
+                "non_finite",
+                "rows contain NaN or infinite values",
+            )
+        return rows
+
+    async def _handle_score(self, body: bytes) -> dict:
+        rows = self._parse_rows(body)
+        try:
+            scores, batched_rows = await self.batcher.submit(rows)
+        except BatcherClosed as exc:
+            raise HttpError(
+                HTTPStatus.SERVICE_UNAVAILABLE, "draining", str(exc)
+            ) from exc
+        # the generation as of response time: the batch dispatch takes its
+        # own snapshot, so under a mid-request swap this block names the
+        # newest generation the scores could have come from
+        served = self._served
+        return {
+            "scores": np.asarray(scores, dtype=np.float64).tolist(),
+            "model": served.describe(),
+            "batched_rows": batched_rows,
+        }
+
+    # -- http plumbing -------------------------------------------------------
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """One request off the wire: ``(method, path, headers, body)``.
+
+        Returns ``None`` on clean EOF (client closed a keep-alive
+        connection between requests).
+        """
+        try:
+            line = await reader.readline()
+        except (ConnectionError, asyncio.LimitOverrunError):
+            return None
+        if not line:
+            return None
+        if len(line) > _MAX_HEADER_LINE:
+            raise HttpError(
+                HTTPStatus.REQUEST_URI_TOO_LONG, "bad_request", "request line too long"
+            )
+        parts = line.decode("latin-1").split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise HttpError(
+                HTTPStatus.BAD_REQUEST, "bad_request", "malformed request line"
+            )
+        method, target = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if not line or len(line) > _MAX_HEADER_LINE:
+                raise HttpError(
+                    HTTPStatus.BAD_REQUEST, "bad_request", "malformed headers"
+                )
+            if line in (b"\r\n", b"\n"):
+                break
+            name, sep, value = line.decode("latin-1").partition(":")
+            if not sep:
+                raise HttpError(
+                    HTTPStatus.BAD_REQUEST, "bad_request", "malformed header line"
+                )
+            headers[name.strip().lower()] = value.strip()
+        length = headers.get("content-length", "0")
+        try:
+            n = int(length)
+        except ValueError:
+            raise HttpError(
+                HTTPStatus.BAD_REQUEST, "bad_request", "bad Content-Length"
+            ) from None
+        if n < 0 or n > _MAX_BODY_BYTES:
+            raise HttpError(
+                HTTPStatus.REQUEST_ENTITY_TOO_LARGE,
+                "body_too_large",
+                f"request body of {n} bytes exceeds {_MAX_BODY_BYTES}",
+            )
+        body = await reader.readexactly(n) if n else b""
+        return method, target, headers, body
+
+    @staticmethod
+    def _encode_response(
+        status: HTTPStatus, payload: dict, *, keep_alive: bool
+    ) -> bytes:
+        body = json.dumps(payload).encode()
+        head = (
+            f"HTTP/1.1 {status.value} {status.phrase}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        return head.encode("latin-1") + body
+
+    async def _route(self, method: str, target: str, body: bytes) -> tuple:
+        path = target.split("?", 1)[0]
+        if path == "/score":
+            if method != "POST":
+                raise HttpError(
+                    HTTPStatus.METHOD_NOT_ALLOWED,
+                    "method_not_allowed",
+                    "use POST /score",
+                )
+            return HTTPStatus.OK, await self._handle_score(body)
+        if path == "/healthz":
+            if method != "GET":
+                raise HttpError(
+                    HTTPStatus.METHOD_NOT_ALLOWED,
+                    "method_not_allowed",
+                    "use GET /healthz",
+                )
+            return HTTPStatus.OK, {
+                "status": "draining" if self._stopping else "ok",
+                "requests_served": self.requests_served,
+                "batches_dispatched": self.batcher.batches_dispatched,
+                "rows_scored": self.batcher.rows_scored,
+                "mean_batch_rows": round(self.batcher.mean_batch_rows, 3),
+                "largest_batch": self.batcher.largest_batch,
+                "pending": self.batcher.pending,
+                "window_s": self.batcher.window_s,
+                "max_batch": self.batcher.max_batch,
+                "workers": self.workers,
+                "swaps": self.swaps,
+            }
+        if path == "/model":
+            if method != "GET":
+                raise HttpError(
+                    HTTPStatus.METHOD_NOT_ALLOWED,
+                    "method_not_allowed",
+                    "use GET /model",
+                )
+            return HTTPStatus.OK, self._served.describe()
+        raise HttpError(
+            HTTPStatus.NOT_FOUND,
+            "not_found",
+            f"no route {path!r}; try POST /score, GET /healthz, GET /model",
+        )
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            while not self._stopping:
+                try:
+                    request = await self._read_request(reader)
+                except HttpError as exc:
+                    writer.write(self._error_response(exc, keep_alive=False))
+                    await writer.drain()
+                    return
+                except asyncio.IncompleteReadError:
+                    return
+                if request is None:
+                    return
+                method, target, headers, body = request
+                keep_alive = headers.get("connection", "keep-alive") != "close"
+                self._inflight += 1
+                self._idle.clear()
+                try:
+                    status, payload = await self._route(method, target, body)
+                    response = self._encode_response(
+                        status, payload, keep_alive=keep_alive
+                    )
+                    self.requests_served += 1
+                except HttpError as exc:
+                    response = self._error_response(exc, keep_alive=keep_alive)
+                finally:
+                    self._inflight -= 1
+                    if self._inflight == 0:
+                        self._idle.set()
+                writer.write(response)
+                await writer.drain()
+                if not keep_alive:
+                    return
+        except (ConnectionError, asyncio.CancelledError):
+            pass  # client went away / server shutting down
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+
+    def _error_response(self, exc: HttpError, *, keep_alive: bool) -> bytes:
+        return self._encode_response(
+            exc.status,
+            {"error": {"code": exc.code, "message": exc.message}},
+            keep_alive=keep_alive,
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0``)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> "ScoringServer":
+        """Bind and start accepting connections."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+        return self
+
+    async def serve_forever(self) -> None:  # pragma: no cover - CLI loop
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def stop(self, *, timeout: float = 10.0) -> None:
+        """Graceful shutdown: answer everything in flight, then close.
+
+        New connections are refused immediately; requests already being
+        processed (including ones waiting in the micro-batch queue) are
+        scored and answered before their connections close.
+        """
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout)
+        except asyncio.TimeoutError:  # pragma: no cover - pathological batch
+            pass
+        await self.batcher.drain()
+        for writer in list(self._connections):
+            writer.close()
+        if self._server is not None:
+            await self._server.wait_closed()
+        if self._pool is not None:
+            self._pool.shutdown()
+        if self._owned_artifact is not None:
+            try:
+                self._owned_artifact.unlink()
+                self._owned_artifact.parent.rmdir()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+            self._owned_artifact = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ScoringServer({self._served.describe()!r}, "
+            f"window_s={self.batcher.window_s}, workers={self.workers})"
+        )

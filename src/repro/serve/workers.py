@@ -1,0 +1,133 @@
+"""mmap-shared scoring workers: N processes, one physical model.
+
+The scoring tier's multi-core story mirrors the walk engine's
+(:mod:`repro.engine.parallel`): worker processes never receive a
+pickled model.  Each worker *attaches* to the published
+uncompressed-``.npz`` artifact through the zip-offset mmap path
+(:func:`repro.io.mmap.open_npz_mmap`), so the index arrays and the
+fitted data matrix are read-only :class:`numpy.memmap` views of the
+registry file itself — the OS page cache keeps one physical copy no
+matter how many workers score over it.  Only the request rows and the
+returned scores cross the process boundary.
+
+The attach cache is keyed by ``(path, inode, mtime_ns)``: a hot model
+swap points the pool at a *new* version path (or a republished file),
+and a stale mapping can never be served for it.  The cache is bounded,
+because a long-lived worker survives any number of swaps.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+# -- worker side -------------------------------------------------------------
+#
+# Module-level functions so they pickle under any start method (the
+# same contract as repro.engine.parallel's worker functions).
+
+#: Attached-model cache, keyed by (path, inode, mtime_ns); bounded so a
+#: long-lived worker that outlives many hot swaps does not accumulate
+#: one mapped model per version it ever served.
+_ATTACHED: dict[tuple[str, int, int], object] = {}
+_ATTACHED_MAX = 4
+
+
+def _attached_model(path: str):
+    """The worker's FittedModel for one artifact, mmap-attached once."""
+    stat = os.stat(path)
+    key = (path, stat.st_ino, stat.st_mtime_ns)
+    model = _ATTACHED.get(key)
+    if model is None:
+        from repro.api.estimators import load_model
+
+        model = load_model(path, mmap=True)
+        while len(_ATTACHED) >= _ATTACHED_MAX:
+            _ATTACHED.pop(next(iter(_ATTACHED)))  # oldest insertion first
+        _ATTACHED[key] = model
+    return model
+
+
+def score_rows_attached(path: str, rows: np.ndarray) -> np.ndarray:
+    """One engine batch, scored in the worker over the mmap-attached model."""
+    return np.asarray(_attached_model(path).score_batch(rows))
+
+
+def attachment_report(path: str) -> dict:
+    """How one worker sees one artifact (diagnostic / test hook).
+
+    Proves the sharing claim: ``data_mmap`` / ``index_mmap`` are True
+    iff the model's arrays are views of the mapped registry file (not
+    materialized copies), and ``pid`` identifies the worker process.
+    ``index_mmap`` is ``None`` for models that carry no tree (the
+    baseline array models score against the data matrix alone).
+    """
+    from repro.engine.parallel import _is_mmap_backed
+
+    model = _attached_model(path)
+    data = model.training_data
+    report = {
+        "pid": os.getpid(),
+        "n_fitted": model.n_fitted,
+        "data_mmap": None if data is None else _is_mmap_backed(np.asarray(data)),
+        "index_mmap": None,
+    }
+    core = getattr(model, "model", None)  # McCatchServingModel wraps the core
+    index = getattr(core, "index", None)
+    if index is not None:
+        flat = index.flat
+        report["index_mmap"] = all(
+            _is_mmap_backed(a)
+            for a in (flat.center, flat.radius, flat.elems, flat.child_lo)
+        )
+    return report
+
+
+# -- pool side ---------------------------------------------------------------
+
+
+class ScoringWorkerPool:
+    """A process pool whose workers score via mmap attachment.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count (>= 1).  The pool is owned by one server
+        (unlike the walk engine's process-global pools): a server
+        shutdown must be able to release its workers without tearing
+        down pools other components still use.
+    """
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self._pool = ProcessPoolExecutor(max_workers=self.workers)
+
+    async def score(self, path: str, rows: np.ndarray) -> np.ndarray:
+        """Score one batch on any free worker, attached to ``path``."""
+        return await asyncio.get_running_loop().run_in_executor(
+            self._pool, score_rows_attached, path, rows
+        )
+
+    def attachment_reports(self, path: str, probes: int | None = None) -> list[dict]:
+        """One report per probe task (default: one per worker).
+
+        Which worker serves which probe is the pool's business, so the
+        reports may repeat pids; what they prove is that *whoever*
+        answered holds the model as an mmap view.
+        """
+        futures = [
+            self._pool.submit(attachment_report, path)
+            for _ in range(probes if probes is not None else self.workers)
+        ]
+        return [f.result() for f in futures]
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ScoringWorkerPool(workers={self.workers})"

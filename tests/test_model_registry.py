@@ -146,6 +146,55 @@ class TestPublishResolve:
         assert all(r.path.is_file() for r in dbout_records)
 
 
+class TestLatestVersion:
+    """The cheap freshness probe the serving watcher polls."""
+
+    def test_none_until_first_publish_then_monotone(self, dataset, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        fp = dataset_fingerprint(dataset)
+        assert registry.latest_version("knnout?k=3", fingerprint=fp) is None
+        model = make_estimator("knnout?k=3").fit(dataset)
+        registry.publish(model)
+        assert registry.latest_version("knnout?k=3", fingerprint=fp) == 1
+        registry.publish(model)
+        assert registry.latest_version("knnout?k=3", fingerprint=fp) == 2
+
+    def test_data_and_bare_spec_resolution(self, dataset, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.publish(make_estimator("knnout?k=3").fit(dataset))
+        # data= derives the fingerprint; no pin at all resolves via the
+        # sole published key (the expensive path a watcher avoids)
+        assert registry.latest_version("knnout?k=3", data=dataset) == 1
+        assert registry.latest_version("knnout?k=3") == 1
+        assert registry.latest_version("dbout") is None
+
+    def test_concurrent_publish_race_reports_completed_only(
+        self, dataset, tmp_path
+    ):
+        # a racing publisher claims the next version dir first, then
+        # streams the artifact, then lands meta.json (the completeness
+        # marker).  The probe must never report the claimed-but-
+        # incomplete version: a watcher would mmap a half-written file.
+        registry = ModelRegistry(tmp_path / "reg")
+        model = make_estimator("knnout?k=3").fit(dataset)
+        first = registry.publish(model)
+        fp = first.fingerprint
+        claimed = first.path.parent.parent / "v0002"
+        claimed.mkdir()  # the race: mkdir won, nothing written yet
+        assert registry.latest_version("knnout?k=3", fingerprint=fp) == 1
+        (claimed / "model.npz").write_bytes(b"partial")  # artifact landing
+        assert registry.latest_version("knnout?k=3", fingerprint=fp) == 1
+        # meta.json lands last (atomically in the real publisher): only
+        # now is v2 complete and reported
+        (claimed / "meta.json").write_text("{}")
+        assert registry.latest_version("knnout?k=3", fingerprint=fp) == 2
+
+    def test_invalid_fingerprint_rejected(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        with pytest.raises(ValueError, match="invalid dataset fingerprint"):
+            registry.latest_version("knnout?k=3", fingerprint="../escape")
+
+
 class TestServingCli:
     @pytest.fixture()
     def csv(self, tmp_path, dataset):
