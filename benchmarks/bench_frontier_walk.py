@@ -1,24 +1,40 @@
-"""Level-synchronous vs node-major stack walk: single-core SELFJOINC.
+"""Compiled vs level-synchronous vs node-major stack walk: SELFJOINC.
 
-Measures the dispatch-overhead claim the level walk rests on: the same
-multi-radius range counting (every point counted at every radius of
-the ladder — SELFJOINC, Alg. 2) executed by the node-major stack walk
-(:func:`repro.index.base.frontier_count_walk`, one set of NumPy
-dispatches per visited node) and by the level-synchronous walk
-(:func:`repro.index.base.level_count_walk`, one grouped set per tree
-depth).  Counts are asserted bit-identical before any time is
-recorded, and both walks' dispatch counters ride along in the JSON —
-``steps`` is depth for the level walk and visited-node count for the
-stack walk, so the per-depth vs per-node contrast is in the artifact,
-not just the prose.  Results land in
-``benchmarks/results/BENCH_walk.json`` (plus a text table) with the
-machine block (:func:`_common.machine_info`); the acceptance target is
->=2x single-core at n=50k on 2-d vptree.
+Measures the two perf claims the frontier walk rests on, on the same
+multi-radius range-counting workload (every point counted at every
+radius of the ladder — SELFJOINC, Alg. 2):
+
+- the dispatch-overhead claim of the level walk
+  (:func:`repro.index.base.level_count_walk`, one grouped set of NumPy
+  dispatches per tree depth) against the node-major stack walk
+  (:func:`repro.index.base.frontier_count_walk`, one set per visited
+  node); and
+- the interpreter-overhead claim of the compiled C kernel
+  (:func:`repro.index.ckernel.compiled_count_walk`, the per-depth
+  advance and the rectangular leaf kernel as single C calls that
+  release the GIL) against the level walk it mirrors.
+
+Counts are asserted bit-identical across all three walks before any
+time is recorded.  The dispatch counters ride along in the JSON —
+``steps`` is depth for the level/compiled walks and visited-node count
+for the stack walk.  A threads-backend sharding sweep
+(:class:`repro.engine.parallel.ShardedWalkExecutor`,
+``backend="thread"``) rides along for the compiled walk, whose kernel
+drops the GIL for the whole advance — the contrast numpy's
+fragmented-release level walk cannot match on Python-loop-heavy trees.
+
+Results land in ``benchmarks/results/BENCH_walk.json`` (the
+stack-vs-level section, unchanged schema plus the compiled columns)
+and ``benchmarks/results/BENCH_ckernel.json`` (compiled-kernel
+acceptance: >=1.5x single-core over level at n=50k on 2-d vptree, with
+the machine block and kernel provenance embedded).
 
 Run:  python benchmarks/bench_frontier_walk.py [--n N ...]
-          [--repeats K] [--index KIND]
+          [--repeats K] [--index KIND] [--workers W ...]
 (the CI smoke step runs one tiny configuration; REPRO_BENCH_SCALE
-multiplies the default sizes as usual.)
+multiplies the default sizes as usual.  Without a C compiler the
+compiled columns are recorded as null and the acceptance section says
+why.)
 """
 
 from __future__ import annotations
@@ -31,16 +47,19 @@ import numpy as np
 
 from _common import format_table, machine_info, results_path, scaled, write_result
 from repro.core.radii import define_radii
+from repro.engine.parallel import ShardedWalkExecutor
 from repro.index import build_index
 from repro.index.base import frontier_count_walk, level_count_walk
+from repro.index.ckernel import compiled_count_walk, kernel_available, kernel_info
 from repro.metric.base import MetricSpace
 
 BOOST = scaled(1.0, lo=0.02, hi=20.0)
 
 DEFAULT_SIZES = [int(10_000 * BOOST), int(50_000 * BOOST)]
+DEFAULT_WORKERS = [1, 2, 4]
 N_RADII = 15
 
-#: Dispatch counters both walks accumulate (see ``_WALK_STAT_KEYS``).
+#: Dispatch counters the walks accumulate (see ``_WALK_STAT_KEYS``).
 OP_KEYS = ("steps", "entries", "distance_calls", "searchsorted_calls", "scatter_calls")
 
 
@@ -58,11 +77,13 @@ def _best(f, repeats: int) -> float:
     return min(times)
 
 
-def run(sizes: list[int], repeats: int, kind: str) -> dict:
+def run(sizes: list[int], repeats: int, kind: str, workers: list[int]) -> dict:
+    compiled_ok = kernel_available()
     records = []
+    shard_records = []
     for n in sizes:
         space = _dataset(n)
-        index = build_index(space, kind=kind)
+        index = build_index(space, kind=kind, walk="level")
         radii = define_radii(index, N_RADII)
         flat, ids = index.flat, index.ids
 
@@ -73,6 +94,16 @@ def run(sizes: list[int], repeats: int, kind: str) -> dict:
         assert np.array_equal(counts, expected), (
             f"level walk diverged from the stack walk at n={n}"
         )
+        compiled_s = None
+        compiled_ops: dict = {}
+        if compiled_ok:
+            compiled = compiled_count_walk(space, ids, radii, flat, stats=compiled_ops)
+            assert np.array_equal(compiled, expected), (
+                f"compiled walk diverged from the stack walk at n={n}"
+            )
+            compiled_s = _best(
+                lambda: compiled_count_walk(space, ids, radii, flat), repeats
+            )
 
         stack_s = _best(lambda: frontier_count_walk(space, ids, radii, flat), repeats)
         level_s = _best(lambda: level_count_walk(space, ids, radii, flat), repeats)
@@ -82,12 +113,48 @@ def run(sizes: list[int], repeats: int, kind: str) -> dict:
                 "index": kind,
                 "stack_s": round(stack_s, 4),
                 "level_s": round(level_s, 4),
+                "compiled_s": None if compiled_s is None else round(compiled_s, 4),
                 "speedup": round(stack_s / level_s, 2) if level_s > 0 else None,
-                # per-node (stack) vs per-depth (level) dispatch counts
+                "compiled_speedup": (
+                    round(level_s / compiled_s, 2)
+                    if compiled_s and compiled_s > 0 else None
+                ),
+                # per-node (stack) vs per-depth (level/compiled) dispatches
                 "stack_ops": {k: stack_ops[k] for k in OP_KEYS},
                 "level_ops": {k: level_ops[k] for k in OP_KEYS},
+                "compiled_ops": (
+                    {k: compiled_ops[k] for k in OP_KEYS if k in compiled_ops}
+                    if compiled_ok else None
+                ),
             }
         )
+
+        if compiled_ok and n == max(sizes):
+            # Sharding sweep on the largest size only: the thread pool's
+            # win is throughput at scale, not tiny-n dispatch.
+            for w in workers:
+                executor = ShardedWalkExecutor(
+                    index, workers=w, backend="thread", shard_by="query",
+                    walk="compiled",
+                )
+                sharded = executor.count_within_many(ids, radii)
+                assert np.array_equal(sharded, expected), (
+                    f"sharded compiled walk diverged at n={n}, workers={w}"
+                )
+                shard_s = _best(
+                    lambda: executor.count_within_many(ids, radii), repeats
+                )
+                shard_records.append(
+                    {
+                        "n": n,
+                        "workers": w,
+                        "backend": "thread",
+                        "shard_by": "query",
+                        "walk": "compiled",
+                        "wall_s": round(shard_s, 4),
+                    }
+                )
+
     return {
         "bench": "frontier_walk",
         "workload": "SELFJOINC",
@@ -95,13 +162,15 @@ def run(sizes: list[int], repeats: int, kind: str) -> dict:
         "dataset": "gaussian-2d",
         "repeats": repeats,
         "machine": machine_info(),
+        "kernel": kernel_info(),
         "records": records,
+        "sharding": shard_records,
     }
 
 
-def merge_into_results(payload: dict) -> None:
-    """Write BENCH_walk.json, preserving sections other runs recorded."""
-    path = results_path("BENCH_walk.json")
+def merge_into_results(payload: dict, name: str = "BENCH_walk.json") -> None:
+    """Write a results JSON, preserving sections other runs recorded."""
+    path = results_path(name)
     merged = {}
     if path.is_file():
         try:
@@ -112,6 +181,35 @@ def merge_into_results(payload: dict) -> None:
     path.write_text(json.dumps(merged, indent=2) + "\n")
 
 
+def ckernel_payload(payload: dict) -> dict:
+    """The compiled-kernel acceptance record for BENCH_ckernel.json."""
+    best = None
+    for r in payload["records"]:
+        if r["compiled_speedup"] is not None and (
+            best is None or r["n"] > best["n"]
+        ):
+            best = r
+    return {
+        "bench": "ckernel",
+        "workload": payload["workload"],
+        "n_radii": payload["n_radii"],
+        "dataset": payload["dataset"],
+        "repeats": payload["repeats"],
+        "machine": payload["machine"],
+        "kernel": payload["kernel"],
+        "acceptance": {
+            "target": "compiled >= 1.5x single-core over level at the largest n",
+            "n": None if best is None else best["n"],
+            "level_s": None if best is None else best["level_s"],
+            "compiled_s": None if best is None else best["compiled_s"],
+            "compiled_speedup": None if best is None else best["compiled_speedup"],
+            "met": bool(best and best["compiled_speedup"] >= 1.5),
+        },
+        "records": payload["records"],
+        "sharding": payload["sharding"],
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--n", type=int, nargs="*", default=None,
@@ -120,29 +218,52 @@ def main() -> None:
                         help="timing repeats, best-of (default 3)")
     parser.add_argument("--index", default="vptree",
                         help="flat-backed index kind (default vptree)")
+    parser.add_argument("--workers", type=int, nargs="*", default=None,
+                        help=f"threads-backend sharding sweep "
+                             f"(default {DEFAULT_WORKERS})")
     args = parser.parse_args()
 
-    payload = run(args.n or DEFAULT_SIZES, args.repeats, args.index)
+    payload = run(
+        args.n or DEFAULT_SIZES, args.repeats, args.index,
+        args.workers or DEFAULT_WORKERS,
+    )
     merge_into_results({"frontier_walk": payload})
+    merge_into_results({"ckernel": ckernel_payload(payload)}, "BENCH_ckernel.json")
     rows = [
         [
             r["n"],
             f"{r['stack_s'] * 1000:.1f}",
             f"{r['level_s'] * 1000:.1f}",
+            "n/a" if r["compiled_s"] is None else f"{r['compiled_s'] * 1000:.1f}",
             f"{r['speedup']:.2f}x" if r["speedup"] is not None else "n/a",
-            r["stack_ops"]["steps"],
-            r["level_ops"]["steps"],
+            (
+                f"{r['compiled_speedup']:.2f}x"
+                if r["compiled_speedup"] is not None else "n/a"
+            ),
         ]
         for r in payload["records"]
     ]
     write_result(
         "frontier_walk",
         format_table(
-            ["n", "stack ms", "level ms", "speedup", "node visits", "depth steps"],
+            ["n", "stack ms", "level ms", "compiled ms",
+             "level/stack", "compiled/level"],
             rows,
-            title="Level-synchronous walk - SELFJOINC single-core wall-clock",
+            title="Frontier walks - SELFJOINC single-core wall-clock",
         ),
     )
+    if payload["sharding"]:
+        write_result(
+            "ckernel_sharding",
+            format_table(
+                ["n", "workers", "wall ms"],
+                [
+                    [s["n"], s["workers"], f"{s['wall_s'] * 1000:.1f}"]
+                    for s in payload["sharding"]
+                ],
+                title="Compiled walk - threads-backend query sharding",
+            ),
+        )
 
 
 if __name__ == "__main__":

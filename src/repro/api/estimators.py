@@ -472,6 +472,13 @@ _MCCATCH_PARAMS = {
     # default, so leaving it out canonicalizes away; index families
     # with no selectable build reject a pinned value loudly.
     "build": Param(str, None, attr="index_build"),
+    # frontier-walk implementation for the flat-tree index families:
+    # "auto" (family default — the compiled C kernel when it builds,
+    # the numpy level walk otherwise), "compiled", "level", or "stack",
+    # e.g. "mccatch?index=vptree&walk=compiled".  None = the family
+    # default, so leaving it out canonicalizes away; index kinds with
+    # no selectable walk reject a pinned value loudly.
+    "walk": Param(str, None, attr="index_walk"),
     "engine": Param(str, "batched", attr="engine_mode"),
     # parallel-engine pool size; None = the usable core count.  Only
     # valid with engine=parallel (McCatch rejects the combination

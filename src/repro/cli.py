@@ -77,6 +77,13 @@ def _build_parser() -> argparse.ArgumentParser:
                              "index families (mtree/slimtree/covertree): the "
                              "level-synchronous array bulk-load (their "
                              "default) or the per-insert baseline")
+    detect.add_argument("--walk", default=None,
+                        choices=["auto", "compiled", "level", "stack"],
+                        help="frontier-walk implementation for the flat-tree "
+                             "index families: auto (compiled C kernel when it "
+                             "builds, numpy level walk otherwise), or pin "
+                             "compiled/level/stack; --index auto is promoted "
+                             "to vptree when a walk is requested")
     detect.add_argument("--workers", type=int, default=None, metavar="N",
                         help="shard the range-count walks across N workers "
                              "(engine_mode=parallel; needs a flat-backed "
@@ -139,6 +146,11 @@ def _build_parser() -> argparse.ArgumentParser:
     fit.add_argument("--build", default=None, choices=["bulk", "insert"],
                      help="construction strategy for the insertion-tree index "
                           "families (folds build=... into the McCatch spec)")
+    fit.add_argument("--walk", default=None,
+                     choices=["auto", "compiled", "level", "stack"],
+                     help="frontier-walk implementation for the flat-tree "
+                          "index families (folds walk=... into the McCatch "
+                          "spec)")
     fit.add_argument("--workers", type=int, default=None, metavar="N",
                      help="fit with the parallel engine on N workers (folds "
                           "engine=parallel&workers=N into the McCatch spec)")
@@ -216,6 +228,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="max rows per coalesced engine batch (default 256)")
     serve.add_argument("--max-rows", type=int, default=4096,
                        help="max rows one request may carry (default 4096)")
+    serve.add_argument("--max-pending", type=int, default=1024, metavar="N",
+                       help="cap on requests waiting in the micro-batch "
+                            "queue; past it new requests are shed with a 429 "
+                            "and a Retry-After drain estimate (default 1024; "
+                            "0 = unbounded)")
+    serve.add_argument("--backlog", type=int, default=128, metavar="N",
+                       help="listen-socket accept backlog (default 128)")
     serve.add_argument("--poll", type=float, default=2.0,
                        help="seconds between registry polls for hot model "
                             "swap (default 2.0; 0 disables watching)")
@@ -272,6 +291,7 @@ def _cmd_detect(args) -> int:
         max_cardinality_fraction=args.max_cardinality_fraction,
         index=index,
         index_build=args.build,
+        index_walk=args.walk,
         engine_mode="parallel" if args.workers is not None else "batched",
         workers=args.workers,
         shard_by=args.shard_by,
@@ -424,6 +444,11 @@ def _resolve_fit_estimator(args):
                     "error: --build applies only to McCatch specs "
                     f"(got {estimator.spec!r})"
                 )
+            if args.walk is not None:
+                raise SystemExit(
+                    "error: --walk applies only to McCatch specs "
+                    f"(got {estimator.spec!r})"
+                )
             return estimator
         raw = parse_spec(args.spec)[1]
         spec = args.spec
@@ -451,6 +476,14 @@ def _resolve_fit_estimator(args):
                 )
         elif args.build is not None:
             spec = _spec_with(spec, "build", args.build)
+        if "walk" in raw:
+            if args.walk is not None:
+                raise SystemExit(
+                    "error: --walk cannot be combined with a spec that "
+                    "already pins walk=...; pick one"
+                )
+        elif args.walk is not None:
+            spec = _spec_with(spec, "walk", args.walk)
         if args.shard_by is not None and args.workers is None:
             raise SystemExit("error: --shard-by requires --workers")
         if args.workers is not None:
@@ -477,6 +510,7 @@ def _resolve_fit_estimator(args):
         ),
         index=args.index or "vptree",
         index_build=args.build,
+        index_walk=args.walk,
         engine_mode="parallel" if args.workers is not None else "batched",
         workers=args.workers,
         shard_by=args.shard_by or "query",
@@ -720,6 +754,8 @@ def _cmd_serve(args) -> int:
             window_s=args.window_ms / 1000.0,
             max_batch=args.max_batch,
             max_rows=args.max_rows,
+            max_pending=args.max_pending if args.max_pending > 0 else None,
+            backlog=args.backlog,
             workers=args.workers,
             **server_kwargs,
         )

@@ -24,7 +24,7 @@ from repro.core.radii import define_radii
 from repro.core.result import McCatchResult
 from repro.core.scoring import point_score, score_microclusters
 from repro.engine import check_engine_mode, nearest_distances_to
-from repro.index.base import MetricIndex, check_build_mode
+from repro.index.base import MetricIndex, check_build_mode, check_walk_mode
 from repro.index.factory import build_index
 from repro.metric.base import MetricSpace
 from repro.metric.transformation import (
@@ -62,6 +62,15 @@ class McCatch:
         Requesting a mode for an index family with no such path fails
         loudly in :func:`repro.index.build_index` rather than silently
         falling back.
+    index_walk:
+        Frontier-walk implementation for the flat-tree index families
+        (``vptree``/``balltree``/``mtree``/``slimtree``/``covertree``):
+        ``None`` (default) leaves the family's own default (``"auto"``
+        — the compiled C kernel when it builds, the numpy level walk
+        otherwise); ``"compiled"``/``"level"``/``"stack"`` pin it.
+        Counts — and therefore every McCatch output — are bit-identical
+        across walks; only wall-clock differs.  Like ``index_build``,
+        an index kind without a selectable walk rejects it loudly.
     engine_mode:
         Execution plan for the neighborhood workloads:
         ``"batched"`` (default; single-descent multi-radius queries via
@@ -113,6 +122,7 @@ class McCatch:
         max_cardinality: int | None = None,
         index: str = "auto",
         index_build: str | None = None,
+        index_walk: str | None = None,
         engine_mode: str = "batched",
         workers: int | None = None,
         shard_by: str = "query",
@@ -133,6 +143,9 @@ class McCatch:
         if index_build is not None:
             check_build_mode(index_build)
         self.index_build = index_build
+        if index_walk is not None:
+            check_walk_mode(index_walk)
+        self.index_walk = index_walk
         self.engine_mode = check_engine_mode(engine_mode)
         if workers is not None:
             workers = check_positive_int(workers, name="workers")
@@ -195,7 +208,9 @@ class McCatch:
         t = self._resolve_transformation_cost(space)
 
         # Step I: tree + radii (Alg. 1 lines 1-3).
-        tree = build_index(space, kind=self.index, build=self.index_build)
+        tree = build_index(
+            space, kind=self.index, build=self.index_build, walk=self.index_walk
+        )
         if self.engine_mode == "parallel":
             from repro.engine.parallel import supports_sharding
 
@@ -240,6 +255,7 @@ class McCatch:
         clusters = spot_microclusters(
             space, oracle, cutoff, outliers,
             index_kind=self.index, index_build=self.index_build,
+            index_walk=self.index_walk,
             engine_mode=self.engine_mode,
             workers=self.workers, shard_by=self.shard_by,
         )
@@ -248,7 +264,7 @@ class McCatch:
         microclusters, point_scores = score_microclusters(
             space, clusters, oracle,
             transformation_cost=t, index_kind=self.index,
-            index_build=self.index_build,
+            index_build=self.index_build, index_walk=self.index_walk,
             engine_mode=self.engine_mode, workers=self.workers,
             shard_by=self.shard_by,
         )

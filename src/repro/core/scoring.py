@@ -27,6 +27,7 @@ def nearest_inlier_distances(
     *,
     index_kind: str = "auto",
     index_build: str | None = None,
+    index_walk: str | None = None,
     engine_mode: str = "batched",
     workers: int | None = None,
     shard_by: str = "query",
@@ -56,7 +57,9 @@ def nearest_inlier_distances(
         g[outliers] = radii[-1]
         return g
 
-    inlier_tree = build_index(space, inlier_ids, kind=index_kind, build=index_build)
+    inlier_tree = build_index(
+        space, inlier_ids, kind=index_kind, build=index_build, walk=index_walk
+    )
     engine = BatchQueryEngine(
         inlier_tree, mode=engine_mode, workers=workers, shard_by=shard_by
     )
@@ -118,6 +121,7 @@ def score_microclusters(
     transformation_cost: float,
     index_kind: str = "auto",
     index_build: str | None = None,
+    index_walk: str | None = None,
     engine_mode: str = "batched",
     workers: int | None = None,
     shard_by: str = "query",
@@ -143,7 +147,7 @@ def score_microclusters(
     )
     g = nearest_inlier_distances(
         space, outliers, oracle,
-        index_kind=index_kind, index_build=index_build,
+        index_kind=index_kind, index_build=index_build, index_walk=index_walk,
         engine_mode=engine_mode, workers=workers,
         shard_by=shard_by,
     )

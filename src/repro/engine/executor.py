@@ -47,7 +47,13 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.index.base import UNKNOWN_COUNT, MetricIndex, check_radii_ascending
+from repro.index.base import (
+    UNKNOWN_COUNT,
+    MetricIndex,
+    check_radii_ascending,
+    check_walk_mode,
+    count_walk,
+)
 
 #: Execution modes understood by :class:`BatchQueryEngine`.
 ENGINE_MODES = ("batched", "per_point", "parallel")
@@ -84,6 +90,12 @@ class BatchQueryEngine:
         thread-vs-process by metric type, and query sharding — see
         :class:`~repro.engine.parallel.ShardedWalkExecutor`).
         Ignored by the serial modes.
+    walk:
+        Frontier-walk override (``"level"`` / ``"stack"`` /
+        ``"compiled"`` / ``"auto"``) for every count the engine issues.
+        ``None`` (default) defers to the index's own ``walk``
+        attribute.  Requires flat-tree storage — any other index kind
+        has no selectable walk and rejects the override loudly.
     """
 
     def __init__(
@@ -96,6 +108,7 @@ class BatchQueryEngine:
         shards: int | None = None,
         backend: str = "auto",
         shard_by: str = "query",
+        walk: str | None = None,
     ):
         self.index = index
         self.mode = check_engine_mode(mode)
@@ -103,6 +116,15 @@ class BatchQueryEngine:
             raise ValueError(f"radius_block_size must be >= 1, got {radius_block_size}")
         self.radius_block_size = int(radius_block_size)
         self.workers = workers
+        self.walk = None if walk is None else check_walk_mode(walk)
+        if self.walk is not None:
+            from repro.engine.parallel import supports_sharding
+
+            if not supports_sharding(index):
+                raise ValueError(
+                    f"walk={walk!r} needs flat-tree storage; "
+                    f"{type(index).__name__} has no selectable frontier walk"
+                )
         self._sharded = None
         if self.mode == "parallel":
             from repro.engine.parallel import ShardedWalkExecutor, supports_sharding
@@ -114,7 +136,7 @@ class BatchQueryEngine:
             if supports_sharding(index):
                 self._sharded = ShardedWalkExecutor(
                     index, workers=workers, shards=shards, backend=backend,
-                    shard_by=shard_by,
+                    shard_by=shard_by, walk=walk,
                 )
         # Flat-backed trees (anything carrying a FlatTree, including a
         # loaded FrozenIndex) override count_within_many with one
@@ -155,13 +177,34 @@ class BatchQueryEngine:
                 self._sharded.count_within_many(query_ids, radii), dtype=np.int64
             )
         if self.mode != "per_point":
+            if self.walk is not None:
+                return np.asarray(
+                    count_walk(
+                        self.index.space, query_ids, radii, self.index.flat,
+                        walk=self.walk,
+                    ),
+                    dtype=np.int64,
+                )
             return np.asarray(
                 self.index.count_within_many(query_ids, radii), dtype=np.int64
             )
         out = np.empty((query_ids.size, radii.size), dtype=np.int64)
         for e in range(radii.size):
-            out[:, e] = self.index.count_within(query_ids, float(radii[e]))
+            out[:, e] = self._count_single(query_ids, float(radii[e]))
         return out
+
+    def _count_single(self, query_ids, radius: float) -> np.ndarray:
+        """One-radius counts, honoring the engine's walk override."""
+        if self.walk is None:
+            return self.index.count_within(query_ids, float(radius))
+        counts = count_walk(
+            self.index.space,
+            np.asarray(query_ids, dtype=np.intp),
+            np.array([float(radius)]),
+            self.index.flat,
+            walk=self.walk,
+        )
+        return counts[:, 0].astype(np.intp)
 
     # -- SELFJOINC (Alg. 2) ------------------------------------------------
 
@@ -252,7 +295,7 @@ class BatchQueryEngine:
                 break
             if active.size == 0:
                 break
-            counts[active, e] = index.count_within(index.ids[active], radii[e])
+            counts[active, e] = self._count_single(index.ids[active], float(radii[e]))
             if sparse_focused and max_cardinality is not None:
                 active = active[counts[active, e] <= max_cardinality]
         return counts
@@ -263,7 +306,7 @@ class BatchQueryEngine:
         self, query_ids: Sequence[int] | np.ndarray, radius: float
     ) -> np.ndarray:
         """Per-query counts of indexed elements within one radius."""
-        return self.index.count_within(np.asarray(query_ids, dtype=np.intp), float(radius))
+        return self._count_single(np.asarray(query_ids, dtype=np.intp), float(radius))
 
     def first_nonempty_radius(
         self,
@@ -317,4 +360,4 @@ class BatchQueryEngine:
         The whole-dataset range-count sweep baselines like DB-Out need;
         one chunked/compiled pass, no per-point Python loop.
         """
-        return self.index.count_within(self.index.ids, float(radius))
+        return self._count_single(self.index.ids, float(radius))

@@ -60,10 +60,12 @@ from typing import Sequence
 import numpy as np
 
 from repro.index.base import (
+    DEFAULT_WALK,
     FlatTree,
     WalkFrontier,
     check_radii_ascending,
-    level_count_walk,
+    check_walk_mode,
+    count_walk,
     open_tree_frontier,
     split_frontier,
 )
@@ -165,20 +167,23 @@ def _attached_index(path: str, items, metric):
     return index
 
 
-def _count_shard_attached(path, items, metric, query_ids, radii) -> np.ndarray:
+def _count_shard_attached(
+    path, items, metric, query_ids, radii, walk: str = "level"
+) -> np.ndarray:
     """One query shard's count matrix, walked over the mmap-attached artifact."""
     index = _attached_index(path, items, metric)
-    return level_count_walk(index.space, query_ids, radii, index.flat)
+    return count_walk(index.space, query_ids, radii, index.flat, walk=walk)
 
 
 def _count_frontier_attached(
-    path, items, metric, query_ids, radii, frontier: tuple
+    path, items, metric, query_ids, radii, frontier: tuple, walk: str = "level"
 ) -> np.ndarray:
     """One subtree shard's count matrix: resume a saved frontier over
     the mmap-attached artifact (``shard_by="tree"``)."""
     index = _attached_index(path, items, metric)
-    return level_count_walk(
-        index.space, query_ids, radii, index.flat, frontier=WalkFrontier(*frontier)
+    return count_walk(
+        index.space, query_ids, radii, index.flat,
+        walk=walk, frontier=WalkFrontier(*frontier),
     )
 
 
@@ -262,6 +267,12 @@ class ShardedWalkExecutor:
     artifact_dir:
         Directory for the self-published artifact (default: a fresh
         temporary directory, removed with the executor).
+    walk:
+        Frontier-walk implementation for every shard (default: the
+        index's own ``walk`` attribute, normally ``"auto"``).  The
+        ``"stack"`` differential baseline has no resumable-frontier
+        form, so it maps to ``"level"`` here — the counts are
+        bit-identical by construction.
     """
 
     def __init__(
@@ -274,6 +285,7 @@ class ShardedWalkExecutor:
         shard_by: str = "query",
         artifact: str | Path | None = None,
         artifact_dir: str | Path | None = None,
+        walk: str | None = None,
     ):
         if not supports_sharding(index):
             raise TypeError(
@@ -298,6 +310,14 @@ class ShardedWalkExecutor:
         if backend == "auto":
             backend = "thread" if index.space.is_vector else "process"
         self.backend = backend
+        if walk is None:
+            walk = getattr(index, "walk", DEFAULT_WALK)
+        check_walk_mode(walk)
+        if walk == "stack":
+            # The stack walk cannot resume a WalkFrontier; level is
+            # bit-identical, so sharded executors run it instead.
+            walk = "level"
+        self.walk = walk
         self._artifact = None if artifact is None else Path(artifact)
         self._artifact_dir = None if artifact_dir is None else Path(artifact_dir)
         self._owned_artifact: Path | None = None
@@ -387,21 +407,21 @@ class ShardedWalkExecutor:
         query_ids = np.asarray(query_ids, dtype=np.intp)
         radii = check_radii_ascending(radii)
         if self.workers == 1:
-            return level_count_walk(
-                self.index.space, query_ids, radii, self.index.flat
+            return count_walk(
+                self.index.space, query_ids, radii, self.index.flat, walk=self.walk
             )
         if self.shard_by == "tree":
             return self._count_tree_sharded(query_ids, radii)
         shards = self._shard(query_ids)
         if len(shards) <= 1:
-            return level_count_walk(
-                self.index.space, query_ids, radii, self.index.flat
+            return count_walk(
+                self.index.space, query_ids, radii, self.index.flat, walk=self.walk
             )
         if self.backend == "thread":
             pool = _get_pool("thread", self.workers)
             space, flat = self.index.space, self.index.flat
             futures = [
-                pool.submit(level_count_walk, space, shard, radii, flat)
+                pool.submit(count_walk, space, shard, radii, flat, walk=self.walk)
                 for shard in shards
             ]
         else:
@@ -409,7 +429,10 @@ class ShardedWalkExecutor:
             items, metric = self._space_payload()
             pool = _get_pool("process", self.workers)
             futures = [
-                pool.submit(_count_shard_attached, path, items, metric, shard, radii)
+                pool.submit(
+                    _count_shard_attached,
+                    path, items, metric, shard, radii, self.walk,
+                )
                 for shard in shards
             ]
         return np.vstack([f.result() for f in futures])
@@ -437,14 +460,15 @@ class ShardedWalkExecutor:
         if not pieces:
             return partial
         if len(pieces) == 1:
-            return partial + level_count_walk(
-                space, query_ids, radii, flat, frontier=pieces[0]
+            return partial + count_walk(
+                space, query_ids, radii, flat, walk=self.walk, frontier=pieces[0]
             )
         if self.backend == "thread":
             pool = _get_pool("thread", self.workers)
             futures = [
                 pool.submit(
-                    level_count_walk, space, query_ids, radii, flat, frontier=piece
+                    count_walk, space, query_ids, radii, flat,
+                    walk=self.walk, frontier=piece,
                 )
                 for piece in pieces
             ]
@@ -455,7 +479,7 @@ class ShardedWalkExecutor:
             futures = [
                 pool.submit(
                     _count_frontier_attached,
-                    path, items, metric, query_ids, radii, tuple(piece),
+                    path, items, metric, query_ids, radii, tuple(piece), self.walk,
                 )
                 for piece in pieces
             ]

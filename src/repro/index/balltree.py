@@ -26,6 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.index.base import (
+    DEFAULT_WALK,
     FlatQueryMixin,
     FlatTree,
     MetricIndex,
@@ -55,7 +56,7 @@ class BallTree(FlatQueryMixin, MetricIndex):
     """
 
     def __init__(
-        self, space: MetricSpace, ids=None, *, leaf_size: int = 16, walk: str = "level"
+        self, space: MetricSpace, ids=None, *, leaf_size: int = 16, walk: str = DEFAULT_WALK
     ):
         super().__init__(space, ids)
         if leaf_size < 1:

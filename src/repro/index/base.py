@@ -935,7 +935,8 @@ def _leaf_pairs_scatter(
 
 
 def _level_leaf_scatter(
-    space, query_ids, radii, tree, diff, stride, nodes, pos, lo, hi, d, track, stats
+    space, query_ids, radii, tree, diff, stride, nodes, pos, lo, hi, d, track, stats,
+    rect_fn=None,
 ):
     """Scatter every leaf bucket of one level into ``diff`` at once.
 
@@ -946,7 +947,13 @@ def _level_leaf_scatter(
     produce counts bit-identical to the stack walk's per-node leaf
     handling: integer scatter adds commute, so splitting the entries is
     invisible in the sums.
+
+    ``rect_fn`` swaps the single-rung rectangle implementation (same
+    signature as :func:`_rect_single_rung`); the compiled walk binds
+    its C kernel here so every other leaf path stays shared.
     """
+    if rect_fn is None:
+        rect_fn = _rect_single_rung
     b = tree.elem_hi[nodes] - tree.elem_lo[nodes]
     keep = b > 0
     if not keep.all():
@@ -962,7 +969,7 @@ def _level_leaf_scatter(
         for cap, pad, sq_pad in rc[1]:
             cls = rem & (b <= cap)
             if cls.any():
-                _rect_single_rung(
+                rect_fn(
                     space, query_ids, radii, tree, diff, stride,
                     nodes[cls], pos[cls], lo[cls], b[cls], pad, sq_pad,
                     track, stats,
@@ -1336,16 +1343,35 @@ def attach_leaf_distances(space: MetricSpace, tree: FlatTree) -> FlatTree:
 
 
 #: Walk implementations selectable on every flat-backed index: the
-#: level-synchronous walk (default) and the node-major stack walk kept
-#: as the differential baseline.
-WALK_MODES = ("level", "stack")
+#: level-synchronous walk, the node-major stack walk kept as the
+#: differential baseline, and the C/ctypes kernel walk
+#: (:mod:`repro.index.ckernel`) — all three bit-identical.
+WALK_MODES = ("level", "stack", "compiled")
+
+#: The default on every flat-backed index: resolve at query time to
+#: ``"compiled"`` when the C kernel builds, ``"level"`` otherwise.
+#: Kept symbolic (not resolved at construction) so persisted indexes
+#: stay environment-independent.
+DEFAULT_WALK = "auto"
 
 
 def check_walk_mode(walk: str) -> str:
-    """Validate a walk-mode string against :data:`WALK_MODES`."""
-    if walk not in WALK_MODES:
-        raise ValueError(f"unknown walk {walk!r}; choose from {WALK_MODES}")
+    """Validate a walk-mode string (:data:`WALK_MODES` or ``"auto"``)."""
+    if walk != DEFAULT_WALK and walk not in WALK_MODES:
+        raise ValueError(
+            f"unknown walk {walk!r}; choose from {WALK_MODES + (DEFAULT_WALK,)}"
+        )
     return walk
+
+
+def resolve_walk(walk: str = DEFAULT_WALK) -> str:
+    """Resolve ``"auto"`` to a concrete walk for this environment:
+    ``"compiled"`` when the C kernel is available, else ``"level"``."""
+    if check_walk_mode(walk) != DEFAULT_WALK:
+        return walk
+    from repro.index.ckernel import kernel_available
+
+    return "compiled" if kernel_available() else "level"
 
 
 #: Construction strategies selectable on the insertion-tree families
@@ -1369,13 +1395,44 @@ def count_walk(
     radii: np.ndarray,
     tree: FlatTree,
     *,
-    walk: str = "level",
+    walk: str = DEFAULT_WALK,
+    frontier: "WalkFrontier | None" = None,
     stats: dict | None = None,
 ) -> np.ndarray:
-    """Dispatch a multi-radius count to the selected walk implementation."""
-    if check_walk_mode(walk) == "stack":
+    """Dispatch a multi-radius count to the selected walk implementation.
+
+    ``walk="auto"`` (the default) resolves to the compiled kernel when
+    it is available and the numpy level walk otherwise.  An *explicit*
+    ``walk="compiled"`` that cannot run (no compiler, or
+    ``REPRO_NO_CKERNEL=1``) falls back to the level walk with one loud
+    :class:`RuntimeWarning` — counts are bit-identical either way.
+    ``frontier`` resumes a saved :class:`WalkFrontier` (tree-axis
+    sharding); the stack walk has no resumable form and rejects it.
+    """
+    walk = resolve_walk(walk)
+    if walk == "compiled":
+        from repro.index.ckernel import (
+            compiled_count_walk,
+            kernel_available,
+            warn_fallback,
+        )
+
+        if kernel_available():
+            return compiled_count_walk(
+                space, query_ids, radii, tree, frontier=frontier, stats=stats
+            )
+        warn_fallback()
+        walk = "level"
+    if walk == "stack":
+        if frontier is not None:
+            raise ValueError(
+                "walk='stack' has no resumable frontier form; "
+                "use walk='level' or walk='compiled' for sharded resumes"
+            )
         return frontier_count_walk(space, query_ids, radii, tree, stats=stats)
-    return level_count_walk(space, query_ids, radii, tree, stats=stats)
+    return level_count_walk(
+        space, query_ids, radii, tree, frontier=frontier, stats=stats
+    )
 
 
 class FlatQueryMixin:
@@ -1390,7 +1447,7 @@ class FlatQueryMixin:
 
     space: MetricSpace
     flat: FlatTree
-    walk: str = "level"
+    walk: str = DEFAULT_WALK
 
     def count_within(self, query_ids: Sequence[int] | np.ndarray, radius: float) -> np.ndarray:
         """Per-query neighbor counts (see :class:`MetricIndex`)."""
@@ -1427,7 +1484,7 @@ class FrozenIndex(FlatQueryMixin, MetricIndex):
         *,
         kind: str = "frozen",
         diameter: float | None = None,
-        walk: str = "level",
+        walk: str = DEFAULT_WALK,
     ):
         super().__init__(space, ids)
         self.flat = flat

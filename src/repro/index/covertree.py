@@ -27,6 +27,7 @@ from collections import deque
 import numpy as np
 
 from repro.index.base import (
+    DEFAULT_WALK,
     FlatQueryMixin,
     FlatTree,
     MetricIndex,
@@ -80,7 +81,7 @@ class CoverTree(FlatQueryMixin, MetricIndex):
 
     def __init__(
         self, space: MetricSpace, ids=None, *,
-        leaf_size: int = 16, base: float = 2.0, walk: str = "level",
+        leaf_size: int = 16, base: float = 2.0, walk: str = DEFAULT_WALK,
         build: str = "bulk",
     ):
         super().__init__(space, ids)

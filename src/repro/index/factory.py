@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.index.balltree import BallTree
-from repro.index.base import MetricIndex, check_build_mode
+from repro.index.base import MetricIndex, check_build_mode, check_walk_mode
 from repro.index.bruteforce import BruteForceIndex
 from repro.index.ckdtree import CKDTreeIndex
 from repro.index.covertree import CoverTree
@@ -31,6 +31,11 @@ _BUILD_SELECTABLE = {"mtree", "slimtree", "covertree"}
 #: Families whose only construction IS the level-synchronous bulk
 #: build — ``build="bulk"`` is a no-op, ``build="insert"`` an error.
 _BULK_NATIVE = {"vptree", "balltree"}
+
+#: Families backed by a :class:`~repro.index.base.FlatTree` with a
+#: selectable frontier walk (``level`` / ``stack`` / ``compiled`` /
+#: ``auto``); every other kind rejects ``walk=`` loudly.
+_WALK_SELECTABLE = {"vptree", "balltree", "mtree", "slimtree", "covertree"}
 
 _BUILDERS: dict[str, Callable[..., MetricIndex]] = {
     "brute": BruteForceIndex,
@@ -53,6 +58,7 @@ def available_index_kinds() -> list[str]:
 
 def build_index(
     space: MetricSpace, ids=None, *, kind: str = "auto", build: str | None = None,
+    walk: str | None = None,
     **kwargs,
 ) -> MetricIndex:
     """Build an index over ``space`` (optionally restricted to ``ids``).
@@ -69,9 +75,24 @@ def build_index(
     for a family that has no such path fails loudly — never a silent
     fallback — so a pinned ``build=`` in a spec always means what it
     says.
+
+    ``walk`` selects the frontier-walk implementation on the flat-tree
+    families (``vptree``/``balltree``/``mtree``/``slimtree``/
+    ``covertree``): ``"auto"`` (their default — the compiled C kernel
+    when it builds, the numpy level walk otherwise), ``"compiled"``,
+    ``"level"``, or the ``"stack"`` differential baseline.  Kinds
+    without a flat walk reject ``walk=`` loudly, same policy as
+    ``build=`` — and ``kind="auto"`` with a ``walk`` resolves to the
+    VP-tree, since asking for a frontier walk implies wanting a flat
+    tree.
     """
     if kind == "auto":
-        if space.is_vector and getattr(space.metric, "p", None) == 2.0:
+        if walk is not None:
+            # Requesting a frontier walk implies wanting a flat tree:
+            # "auto" resolves to the VP-tree instead of scipy's
+            # cKDTree, which has no selectable walk.
+            kind = "vptree"
+        elif space.is_vector and getattr(space.metric, "p", None) == 2.0:
             kind = "ckdtree"
         else:
             kind = "vptree"
@@ -99,4 +120,12 @@ def build_index(
                 f"index kind {kind!r} has no build={build!r} path; build= "
                 f"applies to {sorted(_BUILD_SELECTABLE | _BULK_NATIVE)}"
             )
+    if walk is not None:
+        check_walk_mode(walk)
+        if kind not in _WALK_SELECTABLE:
+            raise ValueError(
+                f"index kind {kind!r} has no selectable frontier walk; walk= "
+                f"applies to {sorted(_WALK_SELECTABLE)}"
+            )
+        kwargs["walk"] = walk
     return builder(space, ids, **kwargs)

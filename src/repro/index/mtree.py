@@ -17,6 +17,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.index.base import (
+    DEFAULT_WALK,
     FlatTree,
     MetricIndex,
     check_build_mode,
@@ -76,7 +77,7 @@ class MTree(MetricIndex):
 
     def __init__(
         self, space: MetricSpace, ids=None, *,
-        capacity: int = 16, walk: str = "level", build: str = "bulk",
+        capacity: int = 16, walk: str = DEFAULT_WALK, build: str = "bulk",
     ):
         if capacity < 4:
             raise ValueError(f"capacity must be >= 4, got {capacity}")

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.index.base import DEFAULT_WALK
 from repro.index.bulk import slim_down_flat
 from repro.index.mtree import MTree, _Entry, _Node
 
@@ -35,7 +36,7 @@ class SlimTree(MTree):
 
     def __init__(
         self, space, ids=None, *,
-        capacity: int = 16, slim_down: bool = True, walk: str = "level",
+        capacity: int = 16, slim_down: bool = True, walk: str = DEFAULT_WALK,
         build: str = "bulk",
     ):
         super().__init__(space, ids, capacity=capacity, walk=walk, build=build)

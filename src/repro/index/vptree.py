@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.index.base import (
+    DEFAULT_WALK,
     FlatQueryMixin,
     FlatTree,
     MetricIndex,
@@ -57,7 +58,7 @@ class VPTree(FlatQueryMixin, MetricIndex):
 
     def __init__(
         self, space: MetricSpace, ids=None, *,
-        leaf_size: int = 16, random_state=0, walk: str = "level",
+        leaf_size: int = 16, random_state=0, walk: str = DEFAULT_WALK,
     ):
         super().__init__(space, ids)
         if leaf_size < 1:

@@ -24,7 +24,7 @@ Surfaced on the command line as ``repro serve --spec ... --registry
 bench) through :class:`~repro.serve.client.ScoreClient`.
 """
 
-from repro.serve.batching import BatcherClosed, MicroBatcher
+from repro.serve.batching import BatcherClosed, BatcherOverloaded, MicroBatcher
 from repro.serve.client import ScoreClient
 from repro.serve.server import HttpError, ScoringServer, ServedModel
 from repro.serve.watcher import RegistryWatcher
@@ -32,6 +32,7 @@ from repro.serve.workers import ScoringWorkerPool, attachment_report
 
 __all__ = [
     "BatcherClosed",
+    "BatcherOverloaded",
     "HttpError",
     "MicroBatcher",
     "RegistryWatcher",

@@ -26,6 +26,16 @@ the arrival rate between two hard bounds:
 engine batch — which is exactly the per-request baseline the serving
 bench contrasts against.
 
+Backpressure is *bounded*, not implicit: ``max_pending`` caps how many
+requests may sit in the queue waiting for a batch slot.  Past the cap,
+:meth:`MicroBatcher.submit` sheds the request immediately with
+:class:`BatcherOverloaded` — carrying a drain-time estimate from an
+EWMA of recent batch service times — instead of letting the queue (and
+every queued request's latency) grow without limit.  The server maps
+that to a structured 429 with a ``Retry-After`` header, so overload
+degrades into fast, honest rejections while everything already
+accepted still scores and answers.
+
 Correctness rests on a property this repo pins in its differential
 tests: scoring is row-independent and the bulk kernels are bitwise
 shape-independent (the einsum cross-term of PR 1), so the rows of
@@ -51,6 +61,20 @@ class BatcherClosed(RuntimeError):
     """Raised by :meth:`MicroBatcher.submit` once draining has begun."""
 
 
+class BatcherOverloaded(RuntimeError):
+    """Raised by :meth:`MicroBatcher.submit` when the queue is at
+    ``max_pending``: the request is shed, nothing was enqueued.
+
+    ``retry_after`` estimates (in seconds, >= 1) how long the current
+    backlog needs to drain, derived from the EWMA batch service time —
+    what the server forwards as the ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after: float):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
 class MicroBatcher:
     """Coalesce concurrent score requests into one engine batch.
 
@@ -66,7 +90,15 @@ class MicroBatcher:
         rows.  ``0`` serves strictly per-request.
     max_batch:
         Maximum rows per engine call.
+    max_pending:
+        Maximum requests allowed to wait in the queue; ``None``
+        (default) leaves the queue unbounded.  At the cap,
+        :meth:`submit` raises :class:`BatcherOverloaded` without
+        enqueuing — bounded backpressure instead of unbounded latency.
     """
+
+    #: EWMA smoothing for the batch service time (0 < alpha <= 1).
+    _EWMA_ALPHA = 0.3
 
     def __init__(
         self,
@@ -74,14 +106,18 @@ class MicroBatcher:
         *,
         window_s: float = 0.002,
         max_batch: int = 256,
+        max_pending: int | None = None,
     ):
         if window_s < 0:
             raise ValueError(f"window_s must be >= 0, got {window_s}")
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         self._score_rows = score_rows
         self.window_s = float(window_s)
         self.max_batch = int(max_batch)
+        self.max_pending = None if max_pending is None else int(max_pending)
         self._queue: asyncio.Queue = asyncio.Queue()
         self._collector: asyncio.Task | None = None
         self._closed = False
@@ -89,6 +125,8 @@ class MicroBatcher:
         self.rows_scored = 0
         self.batches_dispatched = 0
         self.largest_batch = 0
+        self.requests_shed = 0
+        self.ewma_batch_s = 0.0  # smoothed per-batch service time
 
     # -- request side --------------------------------------------------------
 
@@ -102,10 +140,28 @@ class MicroBatcher:
         """
         if self._closed:
             raise BatcherClosed("server is draining; no new requests accepted")
+        if self.max_pending is not None and self._queue.qsize() >= self.max_pending:
+            self.requests_shed += 1
+            raise BatcherOverloaded(
+                f"micro-batch queue is full ({self.max_pending} requests "
+                "pending); retry after the backlog drains",
+                self.retry_after_estimate(),
+            )
         self._ensure_collector()
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._queue.put_nowait((rows, future))
         return await future
+
+    def retry_after_estimate(self) -> float:
+        """Seconds (>= 1) the current backlog should take to drain.
+
+        Pending requests form at least ``ceil(pending / max_batch)``
+        engine batches; each costs about one EWMA service time plus one
+        coalescing window.  Before any batch has been timed the EWMA is
+        0 and the floor of one second applies.
+        """
+        batches = -(-max(1, self._queue.qsize()) // self.max_batch)
+        return max(1.0, batches * (self.ewma_batch_s + self.window_s))
 
     @property
     def pending(self) -> int:
@@ -173,6 +229,7 @@ class MicroBatcher:
             block = requests[0][0]
         else:
             block = np.concatenate([rows for rows, _ in requests], axis=0)
+        started = asyncio.get_running_loop().time()
         try:
             scores = await self._score_rows(block)
         except Exception as exc:  # noqa: BLE001 - forwarded to every waiter
@@ -180,6 +237,11 @@ class MicroBatcher:
                 if not future.done():
                     future.set_exception(exc)
             return
+        elapsed = asyncio.get_running_loop().time() - started
+        if self.ewma_batch_s == 0.0:
+            self.ewma_batch_s = elapsed
+        else:
+            self.ewma_batch_s += self._EWMA_ALPHA * (elapsed - self.ewma_batch_s)
         self.batches_dispatched += 1
         self.rows_scored += int(block.shape[0])
         self.largest_batch = max(self.largest_batch, int(block.shape[0]))

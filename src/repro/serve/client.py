@@ -28,6 +28,10 @@ class ScoreClient:
     def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
         self._reader = reader
         self._writer = writer
+        #: Response headers of the most recent :meth:`request`
+        #: (lower-cased names) — how callers read e.g. ``Retry-After``
+        #: off a 429 without changing the ``(status, body)`` signature.
+        self.last_headers: dict[str, str] = {}
 
     @classmethod
     async def connect(cls, host: str, port: int) -> "ScoreClient":
@@ -53,13 +57,16 @@ class ScoreClient:
             raise ConnectionError("server closed the connection")
         status = int(status_line.split()[1])
         length = 0
+        headers: dict[str, str] = {}
         while True:
             line = await self._reader.readline()
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
             if name.strip().lower() == "content-length":
                 length = int(value.strip())
+        self.last_headers = headers
         data = await self._reader.readexactly(length) if length else b""
         return status, json.loads(data) if data else {}
 

@@ -46,7 +46,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.api.base import FittedModel
-from repro.serve.batching import BatcherClosed, MicroBatcher
+from repro.serve.batching import BatcherClosed, BatcherOverloaded, MicroBatcher
 from repro.serve.workers import ScoringWorkerPool
 from repro.utils.validation import as_batch_rows
 
@@ -57,13 +57,26 @@ _MAX_BODY_BYTES = 32 * 1024 * 1024
 
 
 class HttpError(Exception):
-    """A structured client-facing error (becomes a 4xx JSON response)."""
+    """A structured client-facing error (becomes a 4xx JSON response).
 
-    def __init__(self, status: HTTPStatus, code: str, message: str):
+    ``retry_after`` (seconds) adds a ``Retry-After`` header — the 429
+    overload path uses it to tell clients when the backlog should have
+    drained.
+    """
+
+    def __init__(
+        self,
+        status: HTTPStatus,
+        code: str,
+        message: str,
+        *,
+        retry_after: float | None = None,
+    ):
         super().__init__(message)
         self.status = status
         self.code = code
         self.message = message
+        self.retry_after = retry_after
 
 
 @dataclass(frozen=True)
@@ -120,6 +133,16 @@ class ScoringServer:
         Micro-batching knobs (see :class:`MicroBatcher`).
     max_rows:
         Largest row count one request may carry (413 above it).
+    max_pending:
+        Cap on requests waiting in the micro-batch queue; past it new
+        ``/score`` requests are shed with a structured 429 carrying a
+        ``Retry-After`` drain estimate (``None`` = unbounded, the old
+        behavior).  Everything accepted before the cap still scores
+        and answers — overload sheds, it never corrupts or stalls.
+    backlog:
+        Listen-socket accept backlog handed to ``asyncio.start_server``
+        — the second, kernel-level bound on how much unserved work can
+        pile up behind the HTTP boundary.
     workers:
         ``0`` scores in a thread of this process; ``N >= 1`` scores on
         N mmap-attached worker processes.
@@ -138,6 +161,8 @@ class ScoringServer:
         window_s: float = 0.002,
         max_batch: int = 256,
         max_rows: int = 4096,
+        max_pending: int | None = None,
+        backlog: int = 128,
         workers: int = 0,
     ):
         if model.training_data is None or np.asarray(model.training_data).ndim != 2:
@@ -147,11 +172,14 @@ class ScoringServer:
             )
         if max_rows < 1:
             raise ValueError(f"max_rows must be >= 1, got {max_rows}")
+        if backlog < 1:
+            raise ValueError(f"backlog must be >= 1, got {backlog}")
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
         self.host = host
         self._requested_port = int(port)
         self.max_rows = int(max_rows)
+        self.backlog = int(backlog)
         self.workers = int(workers)
         self._pool = ScoringWorkerPool(workers) if workers > 0 else None
         self._owned_artifact: Path | None = None
@@ -167,7 +195,8 @@ class ScoringServer:
         )
         self.swaps = 0
         self.batcher = MicroBatcher(
-            self._score_block, window_s=window_s, max_batch=max_batch
+            self._score_block, window_s=window_s, max_batch=max_batch,
+            max_pending=max_pending,
         )
         self._server: asyncio.AbstractServer | None = None
         self._connections: weakref.WeakSet = weakref.WeakSet()
@@ -297,6 +326,13 @@ class ScoringServer:
         rows = self._parse_rows(body)
         try:
             scores, batched_rows = await self.batcher.submit(rows)
+        except BatcherOverloaded as exc:
+            raise HttpError(
+                HTTPStatus.TOO_MANY_REQUESTS,
+                "overloaded",
+                str(exc),
+                retry_after=exc.retry_after,
+            ) from exc
         except BatcherClosed as exc:
             raise HttpError(
                 HTTPStatus.SERVICE_UNAVAILABLE, "draining", str(exc)
@@ -368,13 +404,21 @@ class ScoringServer:
 
     @staticmethod
     def _encode_response(
-        status: HTTPStatus, payload: dict, *, keep_alive: bool
+        status: HTTPStatus,
+        payload: dict,
+        *,
+        keep_alive: bool,
+        extra_headers: dict[str, str] | None = None,
     ) -> bytes:
         body = json.dumps(payload).encode()
+        extra = ""
+        if extra_headers:
+            extra = "".join(f"{k}: {v}\r\n" for k, v in extra_headers.items())
         head = (
             f"HTTP/1.1 {status.value} {status.phrase}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"
         )
@@ -405,6 +449,9 @@ class ScoringServer:
                 "mean_batch_rows": round(self.batcher.mean_batch_rows, 3),
                 "largest_batch": self.batcher.largest_batch,
                 "pending": self.batcher.pending,
+                "requests_shed": self.batcher.requests_shed,
+                "max_pending": self.batcher.max_pending,
+                "ewma_batch_s": round(self.batcher.ewma_batch_s, 6),
                 "window_s": self.batcher.window_s,
                 "max_batch": self.batcher.max_batch,
                 "workers": self.workers,
@@ -470,10 +517,16 @@ class ScoringServer:
                 pass
 
     def _error_response(self, exc: HttpError, *, keep_alive: bool) -> bytes:
+        headers = None
+        if exc.retry_after is not None:
+            # Retry-After is integer seconds; round up so a sub-second
+            # drain estimate never tells clients to retry immediately.
+            headers = {"Retry-After": str(max(1, int(-(-exc.retry_after // 1))))}
         return self._encode_response(
             exc.status,
             {"error": {"code": exc.code, "message": exc.message}},
             keep_alive=keep_alive,
+            extra_headers=headers,
         )
 
     # -- lifecycle -----------------------------------------------------------
@@ -490,7 +543,8 @@ class ScoringServer:
         if self._server is not None:
             raise RuntimeError("server already started")
         self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self._requested_port
+            self._handle_connection, self.host, self._requested_port,
+            backlog=self.backlog,
         )
         return self
 

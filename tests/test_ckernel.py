@@ -1,0 +1,521 @@
+"""The compiled walk kernel: differential correctness and the loader.
+
+The compiled walk's contract is bit-identity with both numpy walks —
+:func:`repro.index.base.level_count_walk` and the node-major
+:func:`repro.index.base.frontier_count_walk` — for every flat tree
+family, on vector, string, and tree data, across the regression radii
+(negative, 0 with duplicates, ties on exact pairwise distances), and
+through every resumable-frontier split the tree-sharding executor can
+produce.  On top of that sit the loader's guarantees: the on-disk
+``.so`` cache is keyed by source + toolchain (hit on re-probe, miss on
+a source edit), a torn or foreign object under the right name is
+rebuilt once, a missing compiler degrades to the numpy walk with one
+loud warning, ``REPRO_NO_CKERNEL=1`` forces the same fallback, and two
+processes racing the first build both load an intact library.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from test_flat_trees import boundary_radii
+
+from repro.api import make_estimator
+from repro.engine import BatchQueryEngine, ShardedWalkExecutor
+from repro.index import (
+    BallTree,
+    BruteForceIndex,
+    CoverTree,
+    MTree,
+    SlimTree,
+    VPTree,
+    build_index,
+)
+from repro.index.base import (
+    count_walk,
+    frontier_count_walk,
+    level_count_walk,
+    open_tree_frontier,
+    resolve_walk,
+    split_frontier,
+)
+from repro.index.ckernel import (
+    CKernelError,
+    compiled_count_walk,
+    kernel_available,
+    kernel_info,
+)
+from repro.index.ckernel import loader
+from repro.io.indexes import index_payload, load_index, save_index
+from repro.metric.base import MetricSpace
+from repro.metric.strings import levenshtein
+from repro.metric.trees import LabeledTree, tree_edit_distance
+
+FLAT_KINDS = [VPTree, BallTree, CoverTree, MTree, SlimTree]
+WORKER_COUNTS = [1, 2, 3, 7]
+
+needs_kernel = pytest.mark.skipif(
+    not kernel_available(),
+    reason="C kernel unavailable (no compiler, or REPRO_NO_CKERNEL set)",
+)
+
+
+@pytest.fixture(scope="module")
+def vspace():
+    """Vector data with duplicates and a tight planted pair."""
+    rng = np.random.default_rng(5)
+    X = np.vstack(
+        [
+            rng.normal(0, 1, (70, 2)),
+            np.zeros((5, 2)),  # exact duplicates
+            [[7.0, 7.0], [7.0, 7.0], [7.2, 7.0]],  # duplicate outlier pair
+        ]
+    )
+    return MetricSpace(X)
+
+
+@pytest.fixture(scope="module")
+def wide_vspace():
+    """5-d vector data: exercises the generic (band-emitting) rect path
+    instead of the fused 1-/2-d euclidean columns."""
+    rng = np.random.default_rng(7)
+    X = np.vstack([rng.normal(0, 1, (60, 5)), np.zeros((4, 5))])
+    return MetricSpace(X)
+
+
+@pytest.fixture(scope="module")
+def sspace():
+    rng = np.random.default_rng(9)
+    alphabet = list("ABCD")
+    words = ["".join(rng.choice(alphabet, size=rng.integers(1, 8))) for _ in range(30)]
+    words += ["AAAA"] * 3  # duplicates for the radius-0 class
+    return MetricSpace(words, levenshtein)
+
+
+@pytest.fixture(scope="module")
+def tspace():
+    rng = np.random.default_rng(13)
+
+    def random_tree(depth: int) -> LabeledTree:
+        label = "abcd"[int(rng.integers(4))]
+        if depth == 0:
+            return LabeledTree(label)
+        children = [random_tree(depth - 1) for _ in range(int(rng.integers(0, 3)))]
+        return LabeledTree(label, children)
+
+    trees = [random_tree(2) for _ in range(12)]
+    trees += [LabeledTree("a", [LabeledTree("b")])] * 2  # duplicates
+    return MetricSpace(trees, tree_edit_distance)
+
+
+SPACES = ["vspace", "wide_vspace", "sspace", "tspace"]
+
+
+def hard_radii(space: MetricSpace) -> np.ndarray:
+    """boundary_radii plus the negative-radius regression rung."""
+    return np.sort(np.concatenate([[-1.0, -0.5], boundary_radii(space)]))
+
+
+@needs_kernel
+class TestCompiledDifferential:
+    """compiled == level == stack, bit for bit, everywhere."""
+
+    @pytest.mark.parametrize("cls", FLAT_KINDS)
+    @pytest.mark.parametrize("fixture", SPACES)
+    def test_all_families_all_spaces(self, cls, fixture, request):
+        space = request.getfixturevalue(fixture)
+        radii = hard_radii(space)
+        q = np.arange(len(space))
+        flat = cls(space).flat
+        level = level_count_walk(space, q, radii, flat)
+        assert np.array_equal(compiled_count_walk(space, q, radii, flat), level)
+        assert np.array_equal(frontier_count_walk(space, q, radii, flat), level)
+
+    @pytest.mark.parametrize("cls", FLAT_KINDS)
+    def test_subset_queries(self, cls, vspace):
+        radii = hard_radii(vspace)
+        q = np.arange(1, len(vspace), 3)
+        flat = cls(vspace, np.arange(0, len(vspace), 2)).flat
+        assert np.array_equal(
+            compiled_count_walk(vspace, q, radii, flat),
+            level_count_walk(vspace, q, radii, flat),
+        )
+
+    @pytest.mark.parametrize("fixture", SPACES)
+    def test_small_capacity_leaves(self, fixture, request):
+        """Tiny leaves force deep frontiers and many single-rung calls."""
+        space = request.getfixturevalue(fixture)
+        radii = hard_radii(space)
+        q = np.arange(len(space))
+        flat = MTree(space, capacity=4).flat
+        assert np.array_equal(
+            compiled_count_walk(space, q, radii, flat),
+            level_count_walk(space, q, radii, flat),
+        )
+
+    def test_empty_radii_and_empty_queries(self, vspace):
+        flat = VPTree(vspace).flat
+        zero_r = compiled_count_walk(
+            vspace, np.arange(5), np.empty(0, dtype=np.float64), flat
+        )
+        assert zero_r.shape == (5, 0)
+        zero_q = compiled_count_walk(
+            vspace, np.empty(0, dtype=np.intp), np.array([1.0]), flat
+        )
+        assert zero_q.shape == (0, 1)
+
+    @pytest.mark.parametrize("pieces", WORKER_COUNTS)
+    @pytest.mark.parametrize("fixture", SPACES)
+    def test_frontier_resume_piece_invariance(self, pieces, fixture, request):
+        space = request.getfixturevalue(fixture)
+        radii = boundary_radii(space)
+        q = np.arange(len(space))
+        flat = VPTree(space).flat
+        expected = level_count_walk(space, q, radii, flat)
+        partial, frontier = open_tree_frontier(space, q, radii, flat, min_nodes=pieces)
+        for piece in split_frontier(frontier, pieces):
+            partial += compiled_count_walk(space, q, radii, flat, frontier=piece)
+        assert np.array_equal(partial, expected)
+
+    @pytest.mark.parametrize("cls", [MTree, SlimTree])
+    def test_frontier_resume_keeps_caller_arrays(self, cls, vspace):
+        """The kernel's in-place d_parent filter must never touch a
+        caller-owned resumable frontier (the executor reuses pieces)."""
+        radii = boundary_radii(vspace)
+        q = np.arange(len(vspace))
+        flat = cls(vspace, capacity=4).flat
+        _, frontier = open_tree_frontier(vspace, q, radii, flat, min_nodes=3)
+        for piece in split_frontier(frontier, 3):
+            before = [None if a is None else a.copy() for a in piece]
+            compiled_count_walk(vspace, q, radii, flat, frontier=piece)
+            for kept, orig in zip(piece, before):
+                assert (kept is None) == (orig is None)
+                if kept is not None:
+                    assert np.array_equal(kept, orig)
+
+    def test_stats_counters_populated(self, vspace):
+        radii = boundary_radii(vspace)
+        q = np.arange(len(vspace))
+        flat = VPTree(vspace).flat
+        stats: dict = {}
+        counts = compiled_count_walk(vspace, q, radii, flat, stats=stats)
+        assert np.array_equal(counts, level_count_walk(vspace, q, radii, flat))
+        for key in ("steps", "entries", "distance_calls",
+                    "searchsorted_calls", "scatter_calls"):
+            assert stats[key] > 0
+
+    def test_walk_attribute_selects_compiled(self, vspace):
+        radii = boundary_radii(vspace)
+        q = np.arange(len(vspace))
+        auto = VPTree(vspace)
+        compiled = VPTree(vspace, walk="compiled")
+        level = VPTree(vspace, walk="level")
+        assert auto.walk == "auto" and resolve_walk(auto.walk) == "compiled"
+        assert np.array_equal(
+            compiled.count_within_many(q, radii), level.count_within_many(q, radii)
+        )
+        assert np.array_equal(
+            auto.count_within_many(q, radii), level.count_within_many(q, radii)
+        )
+
+
+@needs_kernel
+class TestShardedCompiled:
+    """Threaded sharding over the GIL-free kernel stays bit-identical."""
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("shard_by", ["query", "tree"])
+    def test_thread_backend_bit_identical(self, workers, shard_by, vspace):
+        radii = boundary_radii(vspace)
+        q = np.arange(len(vspace))
+        tree = VPTree(vspace, walk="level")
+        expected = tree.count_within_many(q, radii)
+        got = ShardedWalkExecutor(
+            tree, workers=workers, backend="thread", shard_by=shard_by,
+            walk="compiled",
+        ).count_within_many(q, radii)
+        assert np.array_equal(got, expected)
+
+    @pytest.mark.parametrize("fixture", SPACES)
+    def test_every_space_two_workers(self, fixture, request):
+        space = request.getfixturevalue(fixture)
+        radii = boundary_radii(space)
+        q = np.arange(len(space))
+        tree = VPTree(space, walk="level")
+        expected = tree.count_within_many(q, radii)
+        for shard_by in ("query", "tree"):
+            got = ShardedWalkExecutor(
+                tree, workers=2, backend="thread", shard_by=shard_by,
+                walk="compiled",
+            ).count_within_many(q, radii)
+            assert np.array_equal(got, expected)
+
+    @pytest.mark.parametrize("cls", FLAT_KINDS)
+    def test_every_family_through_executor(self, cls, vspace):
+        radii = boundary_radii(vspace)
+        q = np.arange(len(vspace))
+        tree = cls(vspace, walk="level")
+        expected = tree.count_within_many(q, radii)
+        got = ShardedWalkExecutor(
+            tree, workers=3, backend="thread", shard_by="tree", walk="compiled"
+        ).count_within_many(q, radii)
+        assert np.array_equal(got, expected)
+
+    def test_engine_walk_override_bit_identical(self, vspace):
+        radii = np.unique(boundary_radii(vspace))[1:]
+        tree = VPTree(vspace, walk="level")
+        c = 10
+        reference = BatchQueryEngine(tree, mode="batched").self_join_counts(
+            radii, max_cardinality=c
+        )
+        compiled = BatchQueryEngine(
+            tree, mode="batched", walk="compiled"
+        ).self_join_counts(radii, max_cardinality=c)
+        sharded = BatchQueryEngine(
+            tree, mode="parallel", workers=2, shard_by="tree", walk="compiled"
+        ).self_join_counts(radii, max_cardinality=c)
+        assert np.array_equal(compiled, reference)
+        assert np.array_equal(sharded, reference)
+
+
+class TestWalkSelection:
+    """Dispatch, validation, and the loud-but-graceful fallback."""
+
+    def test_auto_resolves_to_available_walk(self):
+        resolved = resolve_walk("auto")
+        assert resolved == ("compiled" if kernel_available() else "level")
+        assert resolve_walk("stack") == "stack"
+
+    def test_count_walk_rejects_unknown_mode(self, vspace):
+        with pytest.raises(ValueError, match="walk"):
+            count_walk(
+                vspace, np.arange(3), np.array([1.0]), VPTree(vspace).flat,
+                walk="recursive",
+            )
+        with pytest.raises(ValueError, match="walk"):
+            VPTree(vspace, walk="recursive")
+
+    def test_stack_walk_rejects_frontier(self, vspace):
+        flat = VPTree(vspace).flat
+        q = np.arange(len(vspace))
+        radii = boundary_radii(vspace)
+        _, frontier = open_tree_frontier(vspace, q, radii, flat, min_nodes=2)
+        with pytest.raises(ValueError, match="stack"):
+            count_walk(vspace, q, radii, flat, walk="stack",
+                       frontier=split_frontier(frontier, 2)[0])
+
+    def test_disabled_kernel_falls_back_with_one_warning(self, vspace, monkeypatch):
+        monkeypatch.setenv(loader.ENV_DISABLE, "1")
+        loader.reset()
+        try:
+            q = np.arange(len(vspace))
+            radii = boundary_radii(vspace)
+            flat = VPTree(vspace).flat
+            assert not kernel_available()
+            assert kernel_info()["disabled"]
+            with pytest.raises(CKernelError):
+                compiled_count_walk(vspace, q, radii, flat)
+            with pytest.warns(RuntimeWarning, match="REPRO_NO_CKERNEL"):
+                counts = count_walk(vspace, q, radii, flat, walk="compiled")
+            assert np.array_equal(counts, level_count_walk(vspace, q, radii, flat))
+            # The warning fires once per process, not once per call.
+            import warnings as _warnings
+
+            with _warnings.catch_warnings():
+                _warnings.simplefilter("error")
+                count_walk(vspace, q, radii, flat, walk="compiled")
+        finally:
+            monkeypatch.delenv(loader.ENV_DISABLE, raising=False)
+            loader.reset()
+
+    def test_engine_rejects_walk_on_non_flat_index(self, vspace):
+        with pytest.raises(ValueError, match="walk"):
+            BatchQueryEngine(BruteForceIndex(vspace), walk="compiled")
+
+    def test_factory_rejects_walk_on_non_flat_kind(self, vspace):
+        with pytest.raises(ValueError, match="walk"):
+            build_index(vspace, kind="ckdtree", walk="compiled")
+
+    def test_factory_auto_kind_honors_walk_request(self, vspace):
+        # auto + walk request resolves to a flat tree, not cKDTree.
+        index = build_index(vspace, kind="auto", walk="level")
+        assert hasattr(index, "flat") and index.walk == "level"
+
+    def test_spec_round_trip(self):
+        estimator = make_estimator("mccatch?index=vptree&walk=compiled")
+        assert estimator.detector.index_walk == "compiled"
+        assert "walk=compiled" in estimator.spec
+        assert make_estimator(estimator.spec).spec == estimator.spec
+        # The family default (auto) canonicalizes away.
+        assert "walk" not in make_estimator("mccatch?index=vptree").spec
+
+    def test_cli_detect_walk_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(0, 1, (80, 2)), [[9.0, 9.0]]])
+        path = tmp_path / "data.csv"
+        np.savetxt(path, X, delimiter=",")
+        assert main(["detect", str(path), "--index", "vptree",
+                     "--walk", "compiled"]) == 0
+        assert "microclusters" in capsys.readouterr().out
+
+    def test_persistence_keeps_walk_and_records_kernel(self, vspace, tmp_path):
+        tree = VPTree(vspace, walk="compiled")
+        payload = index_payload(tree)
+        assert str(payload["walk"]) == "compiled"
+        assert "ckernel_available" in payload
+        loaded = load_index(save_index(tree, tmp_path / "t.npz"), vspace)
+        assert loaded.walk == "compiled"
+        # "auto" survives as "auto": availability belongs to the loader.
+        auto = VPTree(vspace)
+        loaded = load_index(save_index(auto, tmp_path / "a.npz"), vspace)
+        assert loaded.walk == "auto"
+        q = np.arange(len(vspace))
+        radii = boundary_radii(vspace)
+        assert np.array_equal(
+            loaded.count_within_many(q, radii), auto.count_within_many(q, radii)
+        )
+
+
+@pytest.fixture
+def fresh_cache(tmp_path, monkeypatch):
+    """A private, empty kernel cache; restores global state afterwards."""
+    monkeypatch.setenv(loader.ENV_CACHE, str(tmp_path / "ckernel"))
+    monkeypatch.delenv(loader.ENV_DISABLE, raising=False)
+    loader.reset()
+    yield tmp_path / "ckernel"
+    monkeypatch.undo()
+    loader.reset()
+
+
+def _so_files(cache: Path) -> list[Path]:
+    return sorted(cache.glob("*.so"))
+
+
+@pytest.mark.skipif(
+    loader.find_compiler() is None, reason="no C compiler on this machine"
+)
+class TestLoaderCache:
+    """Build cache semantics: keying, reuse, invalidation, torn objects."""
+
+    def test_first_build_publishes_keyed_so(self, fresh_cache):
+        kernel = loader.get_kernel()
+        assert kernel is not None
+        sos = _so_files(fresh_cache)
+        assert sos == [fresh_cache / f"repro_ckernel_{kernel.key}.so"]
+        # No torn temporaries left behind by the mkstemp+rename publish.
+        assert not list(fresh_cache.glob("*.tmp.so"))
+
+    def test_reprobe_hits_cache_without_rebuilding(self, fresh_cache):
+        assert loader.get_kernel() is not None
+        [so] = _so_files(fresh_cache)
+        stamp = so.stat().st_mtime_ns
+        loader.reset()
+        calls = []
+        original = loader._compile
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return original(*args, **kwargs)
+
+        loader._compile = counting
+        try:
+            assert loader.get_kernel() is not None
+        finally:
+            loader._compile = original
+        assert calls == []  # cache hit: same key, no compile
+        assert so.stat().st_mtime_ns == stamp
+
+    def test_source_change_misses_cache(self, fresh_cache, tmp_path, monkeypatch):
+        assert loader.get_kernel() is not None
+        first = loader.get_kernel().key
+        edited = tmp_path / "kernel_edited.c"
+        edited.write_text(loader.SOURCE_PATH.read_text() + "\n/* edited */\n")
+        monkeypatch.setattr(loader, "SOURCE_PATH", edited)
+        loader.reset()
+        kernel = loader.get_kernel()
+        assert kernel is not None
+        assert kernel.key != first
+        assert len(_so_files(fresh_cache)) == 2  # both keys live side by side
+
+    def test_key_covers_source_banner_and_flags(self):
+        base = loader.cache_key("int x;", "cc 1.0")
+        assert loader.cache_key("int y;", "cc 1.0") != base
+        assert loader.cache_key("int x;", "cc 2.0") != base
+
+    def test_torn_so_is_rebuilt_once(self, fresh_cache, vspace):
+        # Plant the torn object *before* anything dlopens from this
+        # cache: overwriting a mapped .so in place would SIGBUS the
+        # process, which is exactly why the loader replaces the file
+        # (new inode) instead of rewriting it.
+        key = loader.cache_key(
+            loader.SOURCE_PATH.read_text(),
+            loader.compiler_banner(loader.find_compiler()),
+        )
+        so = fresh_cache / f"repro_ckernel_{key}.so"
+        so.parent.mkdir(parents=True, exist_ok=True)
+        so.write_bytes(b"this is not a shared object")
+        kernel = loader.get_kernel()
+        assert kernel is not None  # rebuilt from source under the same key
+        assert so.stat().st_size > 1000
+        q = np.arange(len(vspace))
+        radii = boundary_radii(vspace)
+        flat = VPTree(vspace).flat
+        assert np.array_equal(
+            compiled_count_walk(vspace, q, radii, flat),
+            level_count_walk(vspace, q, radii, flat),
+        )
+
+    def test_missing_compiler_degrades_loudly(self, fresh_cache, vspace, monkeypatch):
+        monkeypatch.setenv("CC", "definitely-not-a-compiler")
+        loader.reset()
+        assert loader.find_compiler() is None
+        assert not kernel_available()
+        info = kernel_info()
+        assert not info["available"] and "compiler" in info["error"]
+        q = np.arange(len(vspace))
+        radii = boundary_radii(vspace)
+        flat = VPTree(vspace).flat
+        with pytest.warns(RuntimeWarning, match="compiler"):
+            counts = count_walk(vspace, q, radii, flat, walk="compiled")
+        assert np.array_equal(counts, level_count_walk(vspace, q, radii, flat))
+
+    def test_concurrent_first_build_from_two_processes(self, fresh_cache):
+        """Two processes race the first build; both must load an intact
+        library (mkstemp + atomic rename, no torn .so)."""
+        script = (
+            "import numpy as np\n"
+            "from repro.index.ckernel import compiled_count_walk, kernel_available\n"
+            "from repro.index import VPTree\n"
+            "from repro.metric.base import MetricSpace\n"
+            "assert kernel_available()\n"
+            "space = MetricSpace(np.random.default_rng(0).normal(size=(50, 2)))\n"
+            "tree = VPTree(space)\n"
+            "counts = compiled_count_walk(\n"
+            "    space, tree.ids, np.array([0.0, 0.5, 2.0]), tree.flat)\n"
+            "assert counts.shape == (50, 3)\n"
+        )
+        env = dict(os.environ)
+        env[loader.ENV_CACHE] = str(fresh_cache)
+        env.pop(loader.ENV_DISABLE, None)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script],
+                env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            )
+            for _ in range(2)
+        ]
+        for p in procs:
+            _, err = p.communicate(timeout=300)
+            assert p.returncode == 0, err.decode()
+        assert len(_so_files(fresh_cache)) == 1
+        assert not list(fresh_cache.glob("*.tmp.so"))

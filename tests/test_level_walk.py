@@ -116,8 +116,10 @@ class TestLevelMatchesStack:
     def test_walk_attribute_switches_implementation(self, cls, vspace):
         radii = boundary_radii(vspace)
         q = np.arange(len(vspace))
-        level = cls(vspace)
+        level = cls(vspace, walk="level")
         stack = cls(vspace, walk="stack")
+        # The unqualified default is the environment-resolved "auto".
+        assert cls(vspace).walk == "auto"
         assert level.walk == "level" and stack.walk == "stack"
         assert np.array_equal(
             level.count_within_many(q, radii), stack.count_within_many(q, radii)

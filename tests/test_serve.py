@@ -10,6 +10,7 @@ from repro.api import ModelRegistry, make_estimator
 from repro.cli import main
 from repro.serve import (
     BatcherClosed,
+    BatcherOverloaded,
     MicroBatcher,
     RegistryWatcher,
     ScoreClient,
@@ -157,6 +158,145 @@ class TestMicroBatcher:
             MicroBatcher(score, window_s=-0.1)
         with pytest.raises(ValueError, match="max_batch"):
             MicroBatcher(score, max_batch=0)
+        with pytest.raises(ValueError, match="max_pending"):
+            MicroBatcher(score, max_pending=0)
+
+
+class TestBackpressure:
+    def test_submit_past_max_pending_is_shed_not_enqueued(self):
+        release = asyncio.Event()
+
+        async def slow_score(rows):
+            await release.wait()
+            return rows.sum(axis=1)
+
+        async def inner():
+            batcher = MicroBatcher(
+                slow_score, window_s=0.0, max_batch=256, max_pending=4
+            )
+            accepted = [
+                asyncio.ensure_future(batcher.submit(np.array([[0.0]])))
+            ]
+            await asyncio.sleep(0.05)  # collector holds the head in-dispatch
+            for i in range(4):  # fill the queue exactly to max_pending
+                accepted.append(
+                    asyncio.ensure_future(batcher.submit(np.array([[float(i)]])))
+                )
+                await asyncio.sleep(0)
+            assert batcher.pending == batcher.max_pending
+            shed = []
+            for _ in range(3):
+                with pytest.raises(BatcherOverloaded) as err:
+                    await batcher.submit(np.array([[42.0]]))
+                shed.append(err.value)
+            release.set()  # overload over: everything accepted still answers
+            results = await asyncio.gather(*accepted)
+            await batcher.drain()
+            return batcher, shed, results
+
+        batcher, shed, results = run(inner())
+        assert batcher.requests_shed == 3
+        assert all(exc.retry_after >= 1.0 for exc in shed)
+        # every accepted request scored correctly despite the overload
+        assert all(scores.shape == (1,) for scores, _ in results)
+
+    def test_unbounded_by_default(self):
+        async def score(rows):
+            return rows.sum(axis=1)
+
+        async def inner():
+            batcher = MicroBatcher(score, window_s=0.0)
+            assert batcher.max_pending is None
+            await asyncio.gather(*(
+                batcher.submit(np.array([[float(i)]])) for i in range(64)
+            ))
+            await batcher.drain()
+            return batcher
+
+        batcher = run(inner())
+        assert batcher.requests_shed == 0
+
+    def test_http_overload_sheds_429_with_retry_after_then_drains(
+        self, published, batch
+    ):
+        """Overload at the HTTP boundary: the capped queue sheds with a
+        structured 429 + Retry-After while every accepted request still
+        scores — and scores bit-identically to the unloaded server."""
+        _, record, model = published
+        expected = np.asarray(model.score_batch(batch[:1]))
+
+        async def inner():
+            server = await _started(
+                model, record, window_s=0.05, max_batch=2, max_pending=2
+            )
+            try:
+                row = batch[:1].tolist()[0]
+                clients = [
+                    await ScoreClient.connect("127.0.0.1", server.port)
+                    for _ in range(12)
+                ]
+
+                async def one(client):
+                    status, payload = await client.request(
+                        "POST", "/score", {"row": row}
+                    )
+                    return status, payload, dict(client.last_headers)
+
+                outcomes = await asyncio.gather(*(one(c) for c in clients))
+                health = await clients[0].request("GET", "/healthz")
+                for client in clients:
+                    await client.close()
+                return outcomes, health[1]
+            finally:
+                await server.stop()
+
+        outcomes, health = run(inner())
+        ok = [o for o in outcomes if o[0] == 200]
+        shed = [o for o in outcomes if o[0] == 429]
+        assert len(ok) + len(shed) == 12
+        assert ok, "the accepted side of the overload must still answer"
+        for _, payload, _ in ok:
+            np.testing.assert_array_equal(
+                np.asarray(payload["scores"]), expected
+            )
+        for _, payload, headers in shed:
+            assert payload["error"]["code"] == "overloaded"
+            assert int(headers["retry-after"]) >= 1
+        assert health["requests_shed"] == len(shed)
+        assert health["max_pending"] == 2
+
+    def test_drain_under_overload_answers_all_accepted_requests(
+        self, published, batch
+    ):
+        """Shutdown while the queue is at its cap: every accepted
+        request resolves with real scores before the server closes."""
+        _, record, model = published
+
+        async def inner():
+            server = await _started(
+                model, record, window_s=0.02, max_batch=1, max_pending=3
+            )
+            row = batch[:1].tolist()[0]
+            clients = [
+                await ScoreClient.connect("127.0.0.1", server.port)
+                for _ in range(8)
+            ]
+            tasks = [
+                asyncio.ensure_future(c.request("POST", "/score", {"row": row}))
+                for c in clients
+            ]
+            await asyncio.sleep(0.05)  # let the queue fill / shed
+            await server.stop()
+            outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+            for client in clients:
+                await client.close()
+            return outcomes
+
+        outcomes = run(inner())
+        statuses = [o[0] for o in outcomes if not isinstance(o, Exception)]
+        # accepted requests answered 200 with scores; shed ones answered
+        # 429; nobody hung or got a torn connection mid-drain
+        assert statuses and set(statuses) <= {200, 429}
 
 
 class TestServerScoring:
