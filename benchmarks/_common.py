@@ -47,6 +47,40 @@ def machine_info() -> dict:
     }
 
 
+def telemetry_snapshot(registry) -> dict:
+    """A compact one-level view of a :class:`repro.obs.MetricsRegistry`.
+
+    Scalar families (counters/gauges) collapse to their value — summed
+    over label children, with the per-child breakdown kept when there
+    are labels — and histograms keep ``count``/``sum``.  This is the
+    block benchmarks embed into their ``BENCH_*.json`` artifacts so a
+    perf number always travels with the op counts (distance calls,
+    batch sizes, walk steps) that produced it.
+    """
+    out: dict = {}
+    for name, family in registry.snapshot().items():
+        samples = family["samples"]
+        if family["kind"] == "histogram":
+            out[name] = {
+                "count": sum(s["count"] for s in samples),
+                "sum": round(sum(s["sum"] for s in samples), 6),
+            }
+            continue
+        total = round(sum(s["value"] for s in samples), 6)
+        if samples and samples[0]["labels"]:
+            out[name] = {
+                "total": total,
+                "by_label": {
+                    ",".join(f"{k}={v}" for k, v in sorted(s["labels"].items())):
+                        round(s["value"], 6)
+                    for s in samples
+                },
+            }
+        else:
+            out[name] = total
+    return out
+
+
 def scaled(base: float, lo: float = 0.0, hi: float = 1.0) -> float:
     """A bench's built-in scale, adjusted by REPRO_BENCH_SCALE and clamped."""
     return min(hi, max(lo, base * BENCH_SCALE))

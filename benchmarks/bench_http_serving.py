@@ -35,7 +35,14 @@ import time
 
 import numpy as np
 
-from _common import format_table, machine_info, results_path, scaled, write_result
+from _common import (
+    format_table,
+    machine_info,
+    results_path,
+    scaled,
+    telemetry_snapshot,
+    write_result,
+)
 from repro.api import make_estimator
 from repro.serve import ScoreClient, ScoringServer
 
@@ -83,10 +90,17 @@ async def _verify_bit_identity(model, rows: np.ndarray) -> dict:
 
 
 async def _run_load(
-    model, rows: np.ndarray, *, window_s: float, fleet: int, requests: int
+    model, rows: np.ndarray, *, window_s: float, fleet: int, requests: int,
+    metrics: bool = True,
 ) -> dict:
-    """One configuration: `fleet` concurrent clients, `requests` rows each."""
-    server = await ScoringServer(model, port=0, window_s=window_s).start()
+    """One configuration: `fleet` concurrent clients, `requests` rows each.
+
+    ``metrics=False`` serves with the telemetry tier disabled — the
+    baseline the observability-overhead bench compares against.
+    """
+    server = await ScoringServer(
+        model, port=0, window_s=window_s, metrics=metrics
+    ).start()
     try:
         async def client_task(ci: int) -> list[float]:
             client = await ScoreClient.connect("127.0.0.1", server.port)
@@ -110,6 +124,9 @@ async def _run_load(
             "mean_batch_rows": round(batcher.mean_batch_rows, 3),
             "largest_batch": batcher.largest_batch,
         }
+        if server.metrics is not None:
+            # perf numbers travel with the op counts that produced them
+            counters["telemetry"] = telemetry_snapshot(server.metrics)
     finally:
         await server.stop()
     latencies = np.array([lat for client in per_client for lat in client])

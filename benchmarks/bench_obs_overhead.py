@@ -1,0 +1,179 @@
+"""Observability overhead bench: telemetry on vs off, end to end.
+
+The telemetry layer (``src/repro/obs``) claims near-zero cost: hot
+paths pay one ``None`` check when nothing observes, and when the full
+tier is on — metrics registry, ``/metrics`` route, request traces,
+per-batch histograms, the timed distance-counting proxy — the serving
+numbers should move by at most a few percent.  This bench pins that
+claim with the same socket-level load harness as
+``bench_http_serving``: a fleet of concurrent single-row HTTP clients
+against two otherwise identical :class:`repro.serve.ScoringServer`
+instances, one with ``metrics=True`` (the default) and one with
+``metrics=False``.
+
+Runs alternate off/on per repeat so drift (thermal, page cache,
+co-tenants) hits both modes evenly; the recorded number per mode is
+the best throughput / best p50 across repeats, which is the standard
+way to compare two implementations of the same work under noise.
+
+Scores are verified bit-identical between the two modes before any
+timing — telemetry that changed a score would be a bug, not overhead.
+
+Results land in ``benchmarks/results/BENCH_obs.json`` (git-tracked:
+the acceptance artifact records overhead <= a few percent at the
+bench fleet size) plus a text table.  The telemetry-on run embeds its
+own registry snapshot, so the artifact shows exactly which op counters
+were live while the overhead was measured.
+
+Run:  python benchmarks/bench_obs_overhead.py [--n N] [--requests R]
+(``--smoke`` runs one tiny configuration for CI; REPRO_BENCH_SCALE
+multiplies the default sizes as usual).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import time
+
+import numpy as np
+
+from _common import format_table, machine_info, results_path, write_result
+from bench_http_serving import DIM, SPEC, _dataset, _run_load
+from repro.api import make_estimator
+from repro.serve import ScoringServer
+
+DEFAULT_N = 4_000
+DEFAULT_REQUESTS = 25
+FLEET = 32
+WINDOW_MS = 2.0
+REPEATS = 3
+
+
+async def _verify_modes_identical(model, rows: np.ndarray) -> dict:
+    """Every probe row scores bit-identically with telemetry on and off."""
+    outputs = {}
+    for metrics in (False, True):
+        server = await ScoringServer(
+            model, port=0, window_s=0.0, metrics=metrics
+        ).start()
+        try:
+            from repro.serve import ScoreClient
+
+            client = await ScoreClient.connect("127.0.0.1", server.port)
+            try:
+                outputs[metrics] = await client.score_rows(rows)
+            finally:
+                await client.close()
+        finally:
+            await server.stop()
+    identical = bool(np.array_equal(outputs[False], outputs[True]))
+    if not identical:
+        raise AssertionError(
+            "scores differ between metrics=True and metrics=False; "
+            "telemetry must not touch the numeric path"
+        )
+    return {"rows": int(rows.shape[0]), "identical": identical}
+
+
+async def _bench(model, rows, *, fleet: int, requests: int, repeats: int) -> dict:
+    payload = {
+        "spec": SPEC,
+        "n": int(np.asarray(model.training_data).shape[0]),
+        "dim": DIM,
+        "concurrency": fleet,
+        "window_ms": WINDOW_MS,
+        "requests_per_client": requests,
+        "repeats": repeats,
+        "bit_identity": await _verify_modes_identical(model, rows[:16]),
+    }
+    runs = {False: [], True: []}
+    for _ in range(repeats):
+        # alternate so ambient drift lands on both modes evenly
+        for metrics in (False, True):
+            runs[metrics].append(await _run_load(
+                model, rows, window_s=WINDOW_MS / 1e3, fleet=fleet,
+                requests=requests, metrics=metrics,
+            ))
+
+    def best(records):
+        top = max(records, key=lambda r: r["throughput_rps"])
+        return {
+            "throughput_rps": top["throughput_rps"],
+            "latency_p50_ms": min(r["latency_p50_ms"] for r in records),
+            "latency_p95_ms": min(r["latency_p95_ms"] for r in records),
+            "mean_batch_rows": top["mean_batch_rows"],
+        }
+
+    payload["telemetry_off"] = best(runs[False])
+    payload["telemetry_on"] = best(runs[True])
+    # the telemetry-on artifact carries the op counters of its last run
+    payload["telemetry_on"]["snapshot"] = runs[True][-1].get("telemetry")
+    off = payload["telemetry_off"]["throughput_rps"]
+    on = payload["telemetry_on"]["throughput_rps"]
+    payload["throughput_overhead_pct"] = round((1.0 - on / off) * 100.0, 2)
+    payload["p50_overhead_pct"] = round(
+        (payload["telemetry_on"]["latency_p50_ms"]
+         / payload["telemetry_off"]["latency_p50_ms"] - 1.0) * 100.0, 2,
+    )
+    payload["all_runs"] = {
+        "off": [{k: r[k] for k in ("throughput_rps", "latency_p50_ms")}
+                for r in runs[False]],
+        "on": [{k: r[k] for k in ("throughput_rps", "latency_p50_ms")}
+               for r in runs[True]],
+    }
+    return payload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=DEFAULT_N,
+                        help=f"fitted dataset size (default {DEFAULT_N})")
+    parser.add_argument("--requests", type=int, default=DEFAULT_REQUESTS,
+                        help="single-row requests per client per run")
+    parser.add_argument("--smoke", action="store_true",
+                        help="one tiny configuration (CI)")
+    args = parser.parse_args()
+
+    if args.smoke:
+        n, requests, fleet, repeats = 400, 4, 8, 1
+    else:
+        n, requests, fleet, repeats = args.n, args.requests, FLEET, REPEATS
+
+    X = _dataset(n)
+    rng = np.random.default_rng(1)
+    rows = rng.normal(size=(64, DIM))
+    t0 = time.perf_counter()
+    model = make_estimator(SPEC).fit(X)
+    fit_s = time.perf_counter() - t0
+
+    payload = asyncio.run(_bench(
+        model, rows, fleet=fleet, requests=requests, repeats=repeats,
+    ))
+    payload["fit_s"] = round(fit_s, 3)
+    payload["machine"] = machine_info()
+    results_path("BENCH_obs.json").write_text(json.dumps(payload, indent=2) + "\n")
+
+    table = format_table(
+        ["mode", "req/s", "p50 (ms)", "p95 (ms)", "mean batch"],
+        [
+            ["telemetry off", f"{payload['telemetry_off']['throughput_rps']:.0f}",
+             f"{payload['telemetry_off']['latency_p50_ms']:.2f}",
+             f"{payload['telemetry_off']['latency_p95_ms']:.2f}",
+             f"{payload['telemetry_off']['mean_batch_rows']:.1f}"],
+            ["telemetry on", f"{payload['telemetry_on']['throughput_rps']:.0f}",
+             f"{payload['telemetry_on']['latency_p50_ms']:.2f}",
+             f"{payload['telemetry_on']['latency_p95_ms']:.2f}",
+             f"{payload['telemetry_on']['mean_batch_rows']:.1f}"],
+        ],
+        title=(f"Observability overhead — {SPEC}, n={payload['n']}, "
+               f"{fleet} concurrent single-row clients, window {WINDOW_MS} ms: "
+               f"throughput {payload['throughput_overhead_pct']:+.2f}%, "
+               f"p50 {payload['p50_overhead_pct']:+.2f}%"),
+    )
+    write_result("obs_overhead", table)
+
+
+if __name__ == "__main__":
+    main()

@@ -28,10 +28,15 @@ Commands
     resolves to, ``models publish`` fits and publishes in one step.
 ``serve``
     Long-lived HTTP scoring tier (``POST /score``, ``GET /healthz``,
-    ``GET /model``) over a registry-resolved or saved model, with
-    adaptive micro-batching, optional mmap-attached worker processes
-    (``--workers N``), and hot model swap when a new version is
-    published (``--poll``).
+    ``GET /metrics``, ``GET /model``) over a registry-resolved or
+    saved model, with adaptive micro-batching, optional mmap-attached
+    worker processes (``--workers N``), hot model swap when a new
+    version is published (``--poll``), Prometheus metrics
+    (``--no-metrics`` disables), and JSON access logs with per-request
+    trace spans (``--log-level info``).
+``stats``
+    Scrape ``/healthz`` and ``/metrics`` of a running scoring server
+    and print a telemetry summary (``--raw`` dumps the exposition).
 ``datasets``
     List the built-in dataset generators and their Table III metadata.
 ``demo``
@@ -241,6 +246,25 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-mmap", action="store_true",
                        help="materialize the model instead of memory-mapping "
                             "the artifact")
+    serve.add_argument("--no-metrics", action="store_true",
+                       help="disable the telemetry tier: no /metrics route, "
+                            "no request tracing, no per-batch observation")
+    serve.add_argument("--log-level", default=None, metavar="LEVEL",
+                       help="attach a JSON-lines stderr handler to the "
+                            "serving loggers at LEVEL (info enables per-"
+                            "request access logs with trace spans; default: "
+                            "no handler)")
+
+    stats = sub.add_parser(
+        "stats", help="scrape /healthz and /metrics of a running scoring server"
+    )
+    stats.add_argument("--url", default="http://127.0.0.1:8787",
+                       help="base URL of the server "
+                            "(default http://127.0.0.1:8787)")
+    stats.add_argument("--raw", action="store_true",
+                       help="print the raw Prometheus exposition and exit")
+    stats.add_argument("--timeout", type=float, default=5.0,
+                       help="per-request timeout in seconds (default 5)")
 
     sub.add_parser("datasets", help="list the built-in dataset generators")
 
@@ -746,6 +770,13 @@ def _cmd_serve(args) -> int:
     from repro.serve import RegistryWatcher, ScoringServer
 
     model, server_kwargs, watch = _resolve_served_model(args)
+    if args.log_level is not None:
+        from repro.obs import configure_logging
+
+        try:
+            configure_logging(args.log_level)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}") from exc
     try:
         server = ScoringServer(
             model,
@@ -757,6 +788,7 @@ def _cmd_serve(args) -> int:
             max_pending=args.max_pending if args.max_pending > 0 else None,
             backlog=args.backlog,
             workers=args.workers,
+            metrics=not args.no_metrics,
             **server_kwargs,
         )
     except (TypeError, ValueError) as exc:
@@ -771,6 +803,8 @@ def _cmd_serve(args) -> int:
                 server, registry, spec, fingerprint,
                 poll_s=args.poll, mmap=not args.no_mmap,
             ).start()
+            if server.metrics is not None:
+                watcher.bind_metrics(server.metrics)
         described = server.served.describe()
         print(f"serving {described['spec']}  n={described['n_fitted']}  "
               f"version={described['version']}")
@@ -779,7 +813,10 @@ def _cmd_serve(args) -> int:
               f"workers={args.workers}"
               + (f", polling registry every {args.poll:g}s" if watcher else "")
               + ")")
-        print("endpoints: POST /score  GET /healthz  GET /model  (Ctrl-C stops)")
+        endpoints = "endpoints: POST /score  GET /healthz  GET /model"
+        if server.metrics is not None:
+            endpoints += "  GET /metrics"
+        print(endpoints + "  (Ctrl-C stops)")
         try:
             await server.serve_forever()
         finally:
@@ -791,6 +828,49 @@ def _cmd_serve(args) -> int:
         asyncio.run(_run())
     except KeyboardInterrupt:
         print("\nshutting down")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    import json
+    from urllib.error import URLError
+    from urllib.request import urlopen
+
+    from repro.obs import parse_exposition
+
+    base = args.url.rstrip("/")
+    try:
+        with urlopen(f"{base}/healthz", timeout=args.timeout) as resp:
+            health = json.loads(resp.read().decode("utf-8"))
+        with urlopen(f"{base}/metrics", timeout=args.timeout) as resp:
+            text = resp.read().decode("utf-8")
+    except (URLError, OSError, ValueError) as exc:
+        raise SystemExit(f"error: could not scrape {base}: {exc}") from exc
+    if args.raw:
+        sys.stdout.write(text)
+        return 0
+    try:
+        families = parse_exposition(text)
+    except ValueError as exc:
+        raise SystemExit(f"error: {base}/metrics is not valid "
+                         f"Prometheus text format: {exc}") from exc
+    print(f"{base}  status={health.get('status')}  "
+          f"uptime={health.get('uptime_s', 0.0):.0f}s  "
+          f"model_version={health.get('model_version')}  "
+          f"generation={health.get('generation')}")
+    print(f"requests_served={health.get('requests_served')}  "
+          f"rows_scored={health.get('rows_scored')}  "
+          f"batches={health.get('batches_dispatched')}  "
+          f"shed={health.get('requests_shed')}  "
+          f"swaps={health.get('swaps')}")
+    print()
+    print(f"{'metric':<46}{'labels':<28}{'value':>14}")
+    for name in sorted(families):
+        for sample_name, labels, value in families[name]["samples"]:
+            if sample_name.endswith("_bucket"):
+                continue  # histogram summary: show _sum/_count only
+            label_text = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            print(f"{sample_name:<46}{label_text:<28}{value:>14g}")
     return 0
 
 
@@ -832,6 +912,7 @@ def main(argv: list[str] | None = None) -> int:
         "score": _cmd_score,
         "models": _cmd_models,
         "serve": _cmd_serve,
+        "stats": _cmd_stats,
         "datasets": _cmd_datasets,
         "demo": _cmd_demo,
     }

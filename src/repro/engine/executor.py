@@ -54,6 +54,7 @@ from repro.index.base import (
     check_walk_mode,
     count_walk,
 )
+from repro.obs import hooks as _obs_hooks
 
 #: Execution modes understood by :class:`BatchQueryEngine`.
 ENGINE_MODES = ("batched", "per_point", "parallel")
@@ -172,6 +173,13 @@ class BatchQueryEngine:
         """
         query_ids = np.asarray(query_ids, dtype=np.intp)
         radii = check_radii_ascending(radii)
+        sink = _obs_hooks.ENGINE
+        if sink is not None:
+            sink.bump(
+                count_calls=1,
+                count_queries=query_ids.size,
+                count_entries=query_ids.size * radii.size,
+            )
         if self._sharded is not None:
             return np.asarray(
                 self._sharded.count_within_many(query_ids, radii), dtype=np.int64

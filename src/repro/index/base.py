@@ -42,12 +42,14 @@ and served without rebuilding.
 from __future__ import annotations
 
 import threading
+import time
 from abc import ABC, abstractmethod
 from typing import NamedTuple, Sequence
 
 import numpy as np
 
 from repro.metric.base import MetricSpace
+from repro.obs import hooks as _obs_hooks
 
 #: Sentinel for neighbor counts a scheduling principle never computed
 #: (see the sparse-focused principle in :mod:`repro.engine`).  Lives
@@ -1408,7 +1410,43 @@ def count_walk(
     :class:`RuntimeWarning` — counts are bit-identical either way.
     ``frontier`` resumes a saved :class:`WalkFrontier` (tree-axis
     sharding); the stack walk has no resumable form and rejects it.
+
+    When process telemetry is enabled (:mod:`repro.obs.hooks`), the
+    walk's stats counters and wall time merge into the process-wide
+    walk sink once per call; when it is off (the default), the only
+    cost is this one ``None`` check — the walk itself is untouched
+    either way, so counts stay bit-identical with telemetry on.
     """
+    sink = _obs_hooks.WALK
+    if sink is None:
+        return _count_walk_dispatch(
+            space, query_ids, radii, tree, walk=walk, frontier=frontier, stats=stats
+        )
+    local = stats if stats is not None else {}
+    # Callers may accumulate one stats dict across sharded resumes, so
+    # merge only this call's delta into the process sink.
+    before = dict(local)
+    started = time.perf_counter()
+    out = _count_walk_dispatch(
+        space, query_ids, radii, tree, walk=walk, frontier=frontier, stats=local
+    )
+    elapsed = time.perf_counter() - started
+    delta = {k: v - before.get(k, 0) for k, v in local.items()}
+    sink.merge(delta, walks=1, seconds=elapsed)
+    return out
+
+
+def _count_walk_dispatch(
+    space: MetricSpace,
+    query_ids: np.ndarray,
+    radii: np.ndarray,
+    tree: FlatTree,
+    *,
+    walk: str,
+    frontier: "WalkFrontier | None",
+    stats: dict | None,
+) -> np.ndarray:
+    """The walk selection of :func:`count_walk`, telemetry-free."""
     walk = resolve_walk(walk)
     if walk == "compiled":
         from repro.index.ckernel import (

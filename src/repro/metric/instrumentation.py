@@ -20,6 +20,7 @@ Example
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -34,6 +35,7 @@ class DistanceCounter:
     scalar_calls: int = 0  # distance(i, j) pairs
     bulk_pairs: int = 0  # pairs evaluated through bulk paths
     bulk_calls: int = 0  # number of bulk invocations
+    seconds: float = 0.0  # wall time inside counted calls (timed proxies only)
 
     @property
     def total(self) -> int:
@@ -45,6 +47,7 @@ class DistanceCounter:
         self.scalar_calls = 0
         self.bulk_pairs = 0
         self.bulk_calls = 0
+        self.seconds = 0.0
 
     def __repr__(self) -> str:
         return (
@@ -59,17 +62,32 @@ class CountingMetricSpace(MetricSpace):
     Behaves identically to the wrapped space (same data, same metric,
     same numeric results) while recording traffic in :attr:`counter`.
     Pass it anywhere a MetricSpace is accepted — ``build_index``,
-    ``McCatch.fit``, the joins.
+    ``McCatch.fit``, the joins, or a served model's space.
+
+    With ``timed=True`` the out-of-dataset bulk paths
+    (:meth:`distances_to`, :meth:`distances_to_many` — the serving
+    score path) additionally accumulate their wall time into
+    ``counter.seconds``; the default skips the clock reads entirely.
+    An existing counter may be passed so several proxies (e.g. the
+    spaces of successive hot-swapped model generations) share one
+    monotonic tally.
     """
 
-    def __init__(self, inner: MetricSpace):
+    def __init__(
+        self,
+        inner: MetricSpace,
+        *,
+        counter: DistanceCounter | None = None,
+        timed: bool = False,
+    ):
         # Reuse the inner space's validated state rather than re-validating.
         self.data = inner.data
         self.is_vector = inner.is_vector
         self._vm = inner._vm
         self.metric = inner.metric
         self._inner = inner
-        self.counter = DistanceCounter()
+        self.counter = counter if counter is not None else DistanceCounter()
+        self.timed = timed
 
     def distance(self, i: int, j: int) -> float:
         """Counted scalar distance (see :class:`MetricSpace`)."""
@@ -85,7 +103,20 @@ class CountingMetricSpace(MetricSpace):
 
     def distances_to(self, obj, indices):
         """Counted out-of-dataset distances (see :class:`MetricSpace`)."""
+        t0 = time.perf_counter() if self.timed else 0.0
         out = self._inner.distances_to(obj, indices)
+        if self.timed:
+            self.counter.seconds += time.perf_counter() - t0
+        self.counter.bulk_calls += 1
+        self.counter.bulk_pairs += int(out.size)
+        return out
+
+    def distances_to_many(self, objs, indices):
+        """Counted out-of-dataset block distances (the serving path)."""
+        t0 = time.perf_counter() if self.timed else 0.0
+        out = self._inner.distances_to_many(objs, indices)
+        if self.timed:
+            self.counter.seconds += time.perf_counter() - t0
         self.counter.bulk_calls += 1
         self.counter.bulk_pairs += int(out.size)
         return out
@@ -113,6 +144,6 @@ class CountingMetricSpace(MetricSpace):
 
     def subset(self, indices) -> "CountingMetricSpace":
         """Subset shares this proxy's counter (total traffic attribution)."""
-        child = CountingMetricSpace(self._inner.subset(indices))
-        child.counter = self.counter
-        return child
+        return CountingMetricSpace(
+            self._inner.subset(indices), counter=self.counter, timed=self.timed
+        )

@@ -1,0 +1,67 @@
+"""``repro.obs`` — the unified telemetry layer.
+
+Stdlib-only, process-wide observability for the engine and serving
+tiers, in three pieces:
+
+- :mod:`repro.obs.registry` — :class:`MetricsRegistry` (counters,
+  gauges, fixed-bucket histograms, callback metrics), Prometheus text
+  exposition (``render``), a JSON-able ``snapshot()`` the benchmarks
+  embed into their ``BENCH_*.json`` artifacts, and
+  :func:`parse_exposition` / :func:`validate_exposition` for the
+  scraping side (``repro stats``, tests, CI).
+- :mod:`repro.obs.hooks` — the near-zero-cost process sinks the walk
+  and engine hot paths check (one module attribute + ``None`` test
+  when telemetry is off), enabled by
+  :func:`enable_process_telemetry` and exposed on any registry via
+  :func:`bind_process_sinks`.
+- :mod:`repro.obs.tracing` — :class:`RequestTrace` span timing
+  (parse → queue wait → engine batch → walk → respond) and structured
+  JSON access logs with per-request ids.
+
+The serving tier (:class:`repro.serve.ScoringServer`) wires all three
+together and serves the exposition as ``GET /metrics``; nothing in
+this package imports the rest of the repo, so any layer can depend on
+it without cycles.
+"""
+
+from repro.obs.hooks import (
+    TelemetrySink,
+    bind_process_sinks,
+    disable_process_telemetry,
+    enable_process_telemetry,
+    process_sinks_snapshot,
+    telemetry_enabled,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_exposition,
+    validate_exposition,
+)
+from repro.obs.tracing import (
+    RequestTrace,
+    access_logger,
+    configure_logging,
+    next_request_id,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RequestTrace",
+    "TelemetrySink",
+    "access_logger",
+    "bind_process_sinks",
+    "configure_logging",
+    "disable_process_telemetry",
+    "enable_process_telemetry",
+    "next_request_id",
+    "parse_exposition",
+    "process_sinks_snapshot",
+    "telemetry_enabled",
+    "validate_exposition",
+]

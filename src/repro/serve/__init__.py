@@ -13,14 +13,23 @@ compose but also stand alone:
   that mmap-attach to the published ``.npz`` artifact, sharing one
   page-cache copy of the index.
 - :class:`~repro.serve.server.ScoringServer` — ``POST /score`` /
-  ``GET /healthz`` / ``GET /model`` with structured 4xx errors at the
-  serving boundary.
+  ``GET /healthz`` / ``GET /metrics`` / ``GET /model`` with structured
+  4xx errors at the serving boundary.
 - :class:`~repro.serve.watcher.RegistryWatcher` — polls
   ``ModelRegistry.latest_version`` and hot-swaps the served model
   between engine batches, draining requests in flight.
 
+Every tier is instrumented through :mod:`repro.obs`: the server owns a
+:class:`~repro.obs.MetricsRegistry` served as ``GET /metrics``
+(Prometheus text format), each ``/score`` request carries a
+:class:`~repro.obs.RequestTrace` whose spans land in JSON access logs,
+and ``ScoringServer(metrics=False)`` turns the whole telemetry tier
+off.
+
 Surfaced on the command line as ``repro serve --spec ... --registry
-... --workers N --port P``; driven programmatically (and by the load
+... --workers N --port P`` (``--log-level info`` for access logs,
+``--no-metrics`` to disable telemetry) and ``repro stats --url ...``
+to scrape a running server; driven programmatically (and by the load
 bench) through :class:`~repro.serve.client.ScoreClient`.
 """
 

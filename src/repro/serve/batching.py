@@ -47,9 +47,17 @@ end to end through the HTTP boundary.
 from __future__ import annotations
 
 import asyncio
+import logging
+import time
 from typing import Awaitable, Callable
 
 import numpy as np
+
+from repro.obs.tracing import RequestTrace
+
+#: Structured batcher events (the shed WARN) propagate to the
+#: ``repro.serve`` parent that ``configure_logging`` attaches to.
+_LOG = logging.getLogger("repro.serve.batcher")
 
 #: Queue sentinel: placed after the last accepted request by
 #: :meth:`MicroBatcher.drain`, so FIFO order guarantees every real
@@ -121,35 +129,107 @@ class MicroBatcher:
         self._queue: asyncio.Queue = asyncio.Queue()
         self._collector: asyncio.Task | None = None
         self._closed = False
-        # served-traffic counters, surfaced by GET /healthz
+        # served-traffic counters, surfaced by GET /healthz and (via
+        # callback families) GET /metrics — one bookkeeping, two views
         self.rows_scored = 0
         self.batches_dispatched = 0
         self.largest_batch = 0
         self.requests_shed = 0
         self.ewma_batch_s = 0.0  # smoothed per-batch service time
+        # observation histograms, attached by bind_metrics (None = off)
+        self._obs_batch_rows = None
+        self._obs_queue_wait = None
+        self._obs_service = None
+
+    # -- telemetry -----------------------------------------------------------
+
+    #: Batch-size histogram bounds (rows per engine call; +Inf implicit).
+    _ROWS_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0)
+
+    def bind_metrics(self, registry) -> None:
+        """Expose this batcher on a :class:`~repro.obs.MetricsRegistry`.
+
+        The served-traffic counters surface as *callback* families (the
+        registry reads the same attributes ``/healthz`` reports, so the
+        two views cannot drift), and three real histograms start
+        observing: rows per engine batch, per-request queue wait, and
+        per-batch service time.
+        """
+        registry.register_callback(
+            "repro_batcher_batches_total", "counter",
+            "Engine batches dispatched by the micro-batcher",
+            lambda: self.batches_dispatched,
+        )
+        registry.register_callback(
+            "repro_batcher_rows_scored_total", "counter",
+            "Rows scored through the micro-batcher",
+            lambda: self.rows_scored,
+        )
+        registry.register_callback(
+            "repro_batcher_requests_shed_total", "counter",
+            "Requests shed at the max_pending backpressure cap",
+            lambda: self.requests_shed,
+        )
+        registry.register_callback(
+            "repro_batcher_queue_depth", "gauge",
+            "Requests waiting in the micro-batch queue",
+            lambda: self.pending,
+        )
+        registry.register_callback(
+            "repro_batcher_ewma_batch_seconds", "gauge",
+            "EWMA of engine batch service time (drives Retry-After)",
+            lambda: self.ewma_batch_s,
+        )
+        self._obs_batch_rows = registry.histogram(
+            "repro_batch_rows", "Rows per dispatched engine batch",
+            buckets=self._ROWS_BUCKETS,
+        )
+        self._obs_queue_wait = registry.histogram(
+            "repro_batch_queue_wait_seconds",
+            "Seconds a request waited in the queue for its batch slot",
+        )
+        self._obs_service = registry.histogram(
+            "repro_batch_service_seconds",
+            "Seconds per engine batch call (queue excluded)",
+        )
 
     # -- request side --------------------------------------------------------
 
-    async def submit(self, rows: np.ndarray) -> tuple[np.ndarray, int]:
+    async def submit(
+        self, rows: np.ndarray, trace: RequestTrace | None = None
+    ) -> tuple[np.ndarray, int]:
         """Score ``rows`` (shape ``(b, d)``), coalesced with concurrent calls.
 
         Returns ``(scores, batched_rows)``: the ``b`` scores for exactly
         these rows — bit-identical to a direct ``score_batch(rows)`` —
         and the total size of the engine batch they rode in (the
-        coalescing win, made observable per request).
+        coalescing win, made observable per request).  A ``trace``
+        (optional) receives the ``queue_wait`` / ``engine_batch`` /
+        ``walk`` spans of the batch these rows rode in.
         """
         if self._closed:
             raise BatcherClosed("server is draining; no new requests accepted")
         if self.max_pending is not None and self._queue.qsize() >= self.max_pending:
             self.requests_shed += 1
+            retry_after = self.retry_after_estimate()
+            if _LOG.isEnabledFor(logging.WARNING):
+                _LOG.warning({
+                    "event": "request_shed",
+                    "rows": int(rows.shape[0]),
+                    "pending": self._queue.qsize(),
+                    "max_pending": self.max_pending,
+                    "retry_after_s": round(retry_after, 3),
+                    "ewma_batch_s": round(self.ewma_batch_s, 6),
+                    "requests_shed": self.requests_shed,
+                })
             raise BatcherOverloaded(
                 f"micro-batch queue is full ({self.max_pending} requests "
                 "pending); retry after the backlog drains",
-                self.retry_after_estimate(),
+                retry_after,
             )
         self._ensure_collector()
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._queue.put_nowait((rows, future))
+        self._queue.put_nowait((rows, future, time.perf_counter(), trace))
         return await future
 
     def retry_after_estimate(self) -> float:
@@ -220,24 +300,33 @@ class MicroBatcher:
 
         Concatenation order is queue order; each future receives its
         own contiguous score slice, so interleaving requests never
-        mixes rows up.
+        mixes rows up.  The score callable may return a bare score
+        array or ``(scores, extras)`` where ``extras`` carries batch
+        telemetry (inner kernel seconds, the generation snapshot) — the
+        tuple form is how the server annotates traces without the
+        batcher knowing anything about models.
         """
-        requests = [(rows, fut) for rows, fut in batch if not fut.cancelled()]
+        requests = [item for item in batch if not item[1].cancelled()]
         if not requests:
             return
         if len(requests) == 1:
             block = requests[0][0]
         else:
-            block = np.concatenate([rows for rows, _ in requests], axis=0)
-        started = asyncio.get_running_loop().time()
+            block = np.concatenate([rows for rows, _, _, _ in requests], axis=0)
+        started = time.perf_counter()
         try:
-            scores = await self._score_rows(block)
+            result = await self._score_rows(block)
         except Exception as exc:  # noqa: BLE001 - forwarded to every waiter
-            for _, future in requests:
+            for _, future, _, _ in requests:
                 if not future.done():
                     future.set_exception(exc)
             return
-        elapsed = asyncio.get_running_loop().time() - started
+        ended = time.perf_counter()
+        extras = None
+        scores = result
+        if isinstance(result, tuple):
+            scores, extras = result
+        elapsed = ended - started
         if self.ewma_batch_s == 0.0:
             self.ewma_batch_s = elapsed
         else:
@@ -245,9 +334,24 @@ class MicroBatcher:
         self.batches_dispatched += 1
         self.rows_scored += int(block.shape[0])
         self.largest_batch = max(self.largest_batch, int(block.shape[0]))
+        if self._obs_batch_rows is not None:
+            self._obs_batch_rows.observe(block.shape[0])
+            self._obs_service.observe(elapsed)
         offset = 0
-        for rows, future in requests:
+        for rows, future, enqueued, trace in requests:
             b = rows.shape[0]
+            if self._obs_queue_wait is not None:
+                self._obs_queue_wait.observe(started - enqueued)
+            if trace is not None:
+                trace.mark("queue_wait", enqueued, started)
+                trace.mark("engine_batch", started, ended)
+                if extras:
+                    walk_s = extras.get("walk_s")
+                    if walk_s is not None:
+                        trace.mark("walk", started, started + walk_s)
+                    trace.annotate(**{
+                        k: v for k, v in extras.items() if k != "walk_s"
+                    })
             if not future.done():
                 future.set_result((scores[offset : offset + b], int(block.shape[0])))
             offset += b

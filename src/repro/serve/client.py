@@ -40,8 +40,12 @@ class ScoreClient:
 
     async def request(
         self, method: str, path: str, payload: dict | None = None
-    ) -> tuple[int, dict]:
-        """One round trip; returns ``(status_code, decoded_json_body)``."""
+    ) -> tuple[int, dict | str]:
+        """One round trip; returns ``(status_code, decoded_body)``.
+
+        JSON responses decode to a dict; text responses (the
+        ``/metrics`` exposition) come back as the raw ``str``.
+        """
         body = b"" if payload is None else json.dumps(payload).encode()
         head = (
             f"{method} {path} HTTP/1.1\r\n"
@@ -68,7 +72,11 @@ class ScoreClient:
                 length = int(value.strip())
         self.last_headers = headers
         data = await self._reader.readexactly(length) if length else b""
-        return status, json.loads(data) if data else {}
+        if not data:
+            return status, {}
+        if "json" not in headers.get("content-type", "json"):
+            return status, data.decode("utf-8")
+        return status, json.loads(data)
 
     async def score_rows(self, rows) -> np.ndarray:
         """Score a batch; raises ``RuntimeError`` on a structured error."""

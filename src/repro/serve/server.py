@@ -8,9 +8,26 @@ headers, ``Content-Length`` body, keep-alive).  Three endpoints:
   answers ``{"scores": [...], "model": {...}, "batched_rows": b}`` where
   ``batched_rows`` is the size of the engine batch this request rode in
   (the micro-batching win, made observable).
-- ``GET /healthz`` — liveness plus the batching counters.
+- ``GET /healthz`` — liveness plus the batching counters, model
+  version/generation, and uptime.  When telemetry is on the counters
+  are *reads of the metrics registry*, so ``/healthz`` and
+  ``/metrics`` can never drift apart.
 - ``GET /model`` — what is being served: spec, registry version,
   fingerprint, swap count.
+- ``GET /metrics`` — the Prometheus text exposition
+  (:mod:`repro.obs`): batcher, watcher, worker-pool, walk-engine, and
+  distance-counter families plus HTTP request counters/latency
+  histograms.  ``metrics=False`` disables the whole telemetry tier
+  (the route 404s and the hot paths skip every hook).
+
+Telemetry rides each ``/score`` request as a
+:class:`~repro.obs.tracing.RequestTrace`: parse → queue wait → engine
+batch → walk (the inner distance-kernel share of the batch) →
+respond, emitted as one JSON access-log line per request when
+``repro serve --log-level info`` configures the serving loggers.
+Scores are bit-identical with telemetry on or off — the only hook on
+the numeric path is a counting proxy that delegates to the same
+kernels.
 
 Requests pass through :class:`~repro.serve.batching.MicroBatcher`, so
 concurrent single-row clients are scored as one engine batch.  Scoring
@@ -37,7 +54,9 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import tempfile
+import time
 import weakref
 from dataclasses import dataclass
 from http import HTTPStatus
@@ -46,9 +65,17 @@ from pathlib import Path
 import numpy as np
 
 from repro.api.base import FittedModel
+from repro.metric.base import MetricSpace
+from repro.metric.instrumentation import CountingMetricSpace, DistanceCounter
+from repro.obs import MetricsRegistry, RequestTrace, bind_process_sinks
+from repro.obs.tracing import access_logger
 from repro.serve.batching import BatcherClosed, BatcherOverloaded, MicroBatcher
 from repro.serve.workers import ScoringWorkerPool
 from repro.utils.validation import as_batch_rows
+
+#: Routes exposed as their own label value on the HTTP request
+#: families; anything else collapses to "other" (bounded cardinality).
+_KNOWN_ROUTES = ("/score", "/healthz", "/metrics", "/model")
 
 #: Largest request line / header line the parser accepts.
 _MAX_HEADER_LINE = 8192
@@ -146,6 +173,13 @@ class ScoringServer:
     workers:
         ``0`` scores in a thread of this process; ``N >= 1`` scores on
         N mmap-attached worker processes.
+    metrics:
+        ``True`` (default) builds this server's
+        :class:`~repro.obs.MetricsRegistry`, serves it as
+        ``GET /metrics``, and traces every ``/score`` request.
+        ``False`` turns the telemetry tier off entirely — no registry,
+        no traces, no per-batch observation (the overhead baseline the
+        obs bench measures against).
     """
 
     def __init__(
@@ -164,6 +198,7 @@ class ScoringServer:
         max_pending: int | None = None,
         backlog: int = 128,
         workers: int = 0,
+        metrics: bool = True,
     ):
         if model.training_data is None or np.asarray(model.training_data).ndim != 2:
             raise TypeError(
@@ -205,6 +240,123 @@ class ScoringServer:
         self._idle.set()
         self._stopping = False
         self.requests_served = 0
+        self._started_perf = time.perf_counter()
+        self._access_log = access_logger()
+        #: one DistanceCounter across every served generation, so the
+        #: distance families stay monotonic through hot swaps
+        self._distance_counter = DistanceCounter()
+        self.metrics: MetricsRegistry | None = (
+            MetricsRegistry() if metrics else None
+        )
+        if self.metrics is not None:
+            self._bind_metrics()
+            self._instrument_generation(self._served)
+
+    # -- telemetry -----------------------------------------------------------
+
+    def _bind_metrics(self) -> None:
+        """Register every family this server exposes on ``/metrics``.
+
+        Existing signal sources surface as callback families (the
+        registry reads the counters the components already maintain);
+        only genuinely new measurements — HTTP counters/latency, batch
+        histograms, per-worker tallies — are registry instruments.
+        """
+        reg = self.metrics
+        bind_process_sinks(reg)  # walk + engine process sinks
+        self.batcher.bind_metrics(reg)
+        self._m_http_requests = reg.counter(
+            "repro_http_requests_total",
+            "HTTP requests answered, by route and status code",
+            labelnames=("route", "code"),
+        )
+        self._m_http_seconds = reg.histogram(
+            "repro_http_request_seconds",
+            "End-to-end request seconds, by route",
+            labelnames=("route",),
+        )
+        reg.register_callback(
+            "repro_http_inflight", "gauge",
+            "Requests currently being handled",
+            lambda: self._inflight,
+        )
+        reg.register_callback(
+            "repro_server_uptime_seconds", "gauge",
+            "Seconds since this server was constructed",
+            lambda: time.perf_counter() - self._started_perf,
+        )
+        reg.register_callback(
+            "repro_model_generation", "gauge",
+            "Generation of the served model (increments on hot swap)",
+            lambda: self._served.generation,
+        )
+        reg.register_callback(
+            "repro_model_version", "gauge",
+            "Registry version being served (-1 = unversioned)",
+            lambda: -1 if self._served.version is None else self._served.version,
+        )
+        reg.register_callback(
+            "repro_model_swaps_total", "counter",
+            "Hot model swaps performed by this server",
+            lambda: self.swaps,
+        )
+        counter = self._distance_counter
+        reg.register_callback(
+            "repro_distance_evaluations_total", "counter",
+            "Distance evaluations in the serving score path, by call shape",
+            lambda: {("scalar",): counter.scalar_calls, ("bulk",): counter.bulk_pairs},
+            labelnames=("kind",),
+        )
+        reg.register_callback(
+            "repro_distance_bulk_calls_total", "counter",
+            "Bulk distance-kernel dispatches in the serving score path",
+            lambda: counter.bulk_calls,
+        )
+        reg.register_callback(
+            "repro_distance_seconds_total", "counter",
+            "Seconds inside the serving distance kernels",
+            lambda: counter.seconds,
+        )
+        self._m_worker_requests = reg.counter(
+            "repro_worker_requests_total",
+            "Engine batches scored, by worker process",
+            labelnames=("pid",),
+        )
+        self._m_worker_rows = reg.counter(
+            "repro_worker_rows_total",
+            "Rows scored, by worker process",
+            labelnames=("pid",),
+        )
+        self._m_worker_seconds = reg.counter(
+            "repro_worker_busy_seconds_total",
+            "Seconds spent scoring, by worker process",
+            labelnames=("pid",),
+        )
+        #: (route, code) -> (counter child, histogram child): skips the
+        #: family labels() lookup on the per-request path.  Bounded by
+        #: _KNOWN_ROUTES x status codes actually answered.
+        self._http_children: dict[tuple[str, int], tuple] = {}
+
+    def _instrument_generation(self, served: ServedModel) -> None:
+        """Route one generation's distance traffic through the counter.
+
+        The served core's :class:`MetricSpace` is replaced with a
+        *timed* :class:`CountingMetricSpace` proxy sharing the
+        server-wide :class:`DistanceCounter`.  The proxy delegates to
+        the same kernels, so scores stay bit-identical; models without
+        a metric space (the array baselines) are left untouched.
+        """
+        core = getattr(served.model, "model", None)
+        space = getattr(core, "space", None)
+        if isinstance(space, CountingMetricSpace):
+            # a previous server (or run) already wrapped this model —
+            # rewrap the same inner space so THIS server's counter sees
+            # the traffic instead of the stale one
+            space = space._inner
+        if isinstance(space, MetricSpace):
+            core.space = CountingMetricSpace(
+                space, counter=self._distance_counter, timed=True
+            )
 
     # -- model generations ---------------------------------------------------
 
@@ -244,6 +396,8 @@ class ScoringServer:
             generation=old.generation + 1,
         )
         self.swaps += 1
+        if self.metrics is not None:
+            self._instrument_generation(self._served)
         return self._served
 
     def _publish_temp_artifact(self, model: FittedModel) -> Path:
@@ -256,18 +410,45 @@ class ScoringServer:
 
     # -- scoring -------------------------------------------------------------
 
-    async def _score_block(self, rows: np.ndarray) -> np.ndarray:
+    async def _score_block(self, rows: np.ndarray):
         """Score one formed batch off the event loop.
 
         The generation snapshot happens here — once per engine batch —
-        which is exactly the "swap between batches" contract.
+        which is exactly the "swap between batches" contract.  With
+        telemetry on the return is ``(scores, extras)``: batch facts
+        the micro-batcher stamps onto every coalesced request's trace
+        (inner kernel seconds, the generation/version snapshot,
+        worker pid).  The distance-counter delta is race-free because
+        the batcher dispatches batches strictly sequentially.
         """
         served = self._served
+        if self.metrics is None:
+            if self._pool is not None:
+                return await self._pool.score(served.artifact, rows)
+            return await asyncio.get_running_loop().run_in_executor(
+                None, lambda: np.asarray(served.model.score_batch(rows))
+            )
+        extras = {
+            "generation": served.generation,
+            "model_version": served.version,
+        }
         if self._pool is not None:
-            return await self._pool.score(served.artifact, rows)
-        return await asyncio.get_running_loop().run_in_executor(
+            scores, pid, seconds = await self._pool.score_traced(
+                served.artifact, rows
+            )
+            key = str(pid)
+            self._m_worker_requests.labels(key).inc()
+            self._m_worker_rows.labels(key).inc(float(rows.shape[0]))
+            self._m_worker_seconds.labels(key).inc(seconds)
+            extras["walk_s"] = seconds
+            extras["worker_pid"] = pid
+            return scores, extras
+        before = self._distance_counter.seconds
+        scores = await asyncio.get_running_loop().run_in_executor(
             None, lambda: np.asarray(served.model.score_batch(rows))
         )
+        extras["walk_s"] = self._distance_counter.seconds - before
+        return scores, extras
 
     def _parse_rows(self, body: bytes) -> np.ndarray:
         """Request body -> validated ``(b, d)`` rows, or a structured 4xx."""
@@ -322,10 +503,17 @@ class ScoringServer:
             )
         return rows
 
-    async def _handle_score(self, body: bytes) -> dict:
-        rows = self._parse_rows(body)
+    async def _handle_score(
+        self, body: bytes, trace: RequestTrace | None = None
+    ) -> dict:
+        if trace is not None:
+            with trace.span("parse"):
+                rows = self._parse_rows(body)
+            trace.annotate(rows=int(rows.shape[0]))
+        else:
+            rows = self._parse_rows(body)
         try:
-            scores, batched_rows = await self.batcher.submit(rows)
+            scores, batched_rows = await self.batcher.submit(rows, trace)
         except BatcherOverloaded as exc:
             raise HttpError(
                 HTTPStatus.TOO_MANY_REQUESTS,
@@ -341,6 +529,8 @@ class ScoringServer:
         # own snapshot, so under a mid-request swap this block names the
         # newest generation the scores could have come from
         served = self._served
+        if trace is not None:
+            trace.annotate(batched_rows=batched_rows)
         return {
             "scores": np.asarray(scores, dtype=np.float64).tolist(),
             "model": served.describe(),
@@ -405,18 +595,24 @@ class ScoringServer:
     @staticmethod
     def _encode_response(
         status: HTTPStatus,
-        payload: dict,
+        payload,
         *,
         keep_alive: bool,
         extra_headers: dict[str, str] | None = None,
     ) -> bytes:
-        body = json.dumps(payload).encode()
+        if isinstance(payload, str):
+            # raw text body (the /metrics exposition)
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode()
+            content_type = "application/json"
         extra = ""
         if extra_headers:
             extra = "".join(f"{k}: {v}\r\n" for k, v in extra_headers.items())
         head = (
             f"HTTP/1.1 {status.value} {status.phrase}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"{extra}"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
@@ -424,7 +620,58 @@ class ScoringServer:
         )
         return head.encode("latin-1") + body
 
-    async def _route(self, method: str, target: str, body: bytes) -> tuple:
+    def _healthz_payload(self) -> dict:
+        """The liveness body.
+
+        With telemetry on, the served-traffic counters are *reads of
+        the metrics registry* (summed over label children) — the same
+        numbers ``/metrics`` exposes, by construction.  With telemetry
+        off they read the component attributes directly; either way the
+        bookkeeping lives in one place.
+        """
+        if self.metrics is not None:
+            reg = self.metrics
+            counters = {
+                "requests_served": int(
+                    reg.read("repro_http_requests_total", match={"code": "200"})
+                ),
+                "batches_dispatched": int(reg.read("repro_batcher_batches_total")),
+                "rows_scored": int(reg.read("repro_batcher_rows_scored_total")),
+                "requests_shed": int(reg.read("repro_batcher_requests_shed_total")),
+                "swaps": int(reg.read("repro_model_swaps_total")),
+            }
+        else:
+            counters = {
+                "requests_served": self.requests_served,
+                "batches_dispatched": self.batcher.batches_dispatched,
+                "rows_scored": self.batcher.rows_scored,
+                "requests_shed": self.batcher.requests_shed,
+                "swaps": self.swaps,
+            }
+        served = self._served
+        return {
+            "status": "draining" if self._stopping else "ok",
+            **counters,
+            "mean_batch_rows": round(self.batcher.mean_batch_rows, 3),
+            "largest_batch": self.batcher.largest_batch,
+            "pending": self.batcher.pending,
+            "max_pending": self.batcher.max_pending,
+            "ewma_batch_s": round(self.batcher.ewma_batch_s, 6),
+            "window_s": self.batcher.window_s,
+            "max_batch": self.batcher.max_batch,
+            "workers": self.workers,
+            "model_version": served.version,
+            "generation": served.generation,
+            "uptime_s": round(time.perf_counter() - self._started_perf, 3),
+        }
+
+    async def _route(
+        self,
+        method: str,
+        target: str,
+        body: bytes,
+        trace: RequestTrace | None = None,
+    ) -> tuple:
         path = target.split("?", 1)[0]
         if path == "/score":
             if method != "POST":
@@ -433,7 +680,7 @@ class ScoringServer:
                     "method_not_allowed",
                     "use POST /score",
                 )
-            return HTTPStatus.OK, await self._handle_score(body)
+            return HTTPStatus.OK, await self._handle_score(body, trace)
         if path == "/healthz":
             if method != "GET":
                 raise HttpError(
@@ -441,22 +688,21 @@ class ScoringServer:
                     "method_not_allowed",
                     "use GET /healthz",
                 )
-            return HTTPStatus.OK, {
-                "status": "draining" if self._stopping else "ok",
-                "requests_served": self.requests_served,
-                "batches_dispatched": self.batcher.batches_dispatched,
-                "rows_scored": self.batcher.rows_scored,
-                "mean_batch_rows": round(self.batcher.mean_batch_rows, 3),
-                "largest_batch": self.batcher.largest_batch,
-                "pending": self.batcher.pending,
-                "requests_shed": self.batcher.requests_shed,
-                "max_pending": self.batcher.max_pending,
-                "ewma_batch_s": round(self.batcher.ewma_batch_s, 6),
-                "window_s": self.batcher.window_s,
-                "max_batch": self.batcher.max_batch,
-                "workers": self.workers,
-                "swaps": self.swaps,
-            }
+            return HTTPStatus.OK, self._healthz_payload()
+        if path == "/metrics":
+            if method != "GET":
+                raise HttpError(
+                    HTTPStatus.METHOD_NOT_ALLOWED,
+                    "method_not_allowed",
+                    "use GET /metrics",
+                )
+            if self.metrics is None:
+                raise HttpError(
+                    HTTPStatus.NOT_FOUND,
+                    "metrics_disabled",
+                    "telemetry is disabled on this server (metrics=False)",
+                )
+            return HTTPStatus.OK, self.metrics.render()
         if path == "/model":
             if method != "GET":
                 raise HttpError(
@@ -468,7 +714,8 @@ class ScoringServer:
         raise HttpError(
             HTTPStatus.NOT_FOUND,
             "not_found",
-            f"no route {path!r}; try POST /score, GET /healthz, GET /model",
+            f"no route {path!r}; try POST /score, GET /healthz, "
+            "GET /metrics, GET /model",
         )
 
     async def _handle_connection(
@@ -489,22 +736,53 @@ class ScoringServer:
                     return
                 method, target, headers, body = request
                 keep_alive = headers.get("connection", "keep-alive") != "close"
+                path = target.split("?", 1)[0]
+                # Traces feed the access log and nothing else (the
+                # latency/batch histograms time themselves), so an
+                # unconfigured logger skips the whole span machinery.
+                logging_on = self._access_log.isEnabledFor(logging.INFO)
+                trace = RequestTrace() if path == "/score" and logging_on else None
+                started = time.perf_counter()
                 self._inflight += 1
                 self._idle.clear()
                 try:
-                    status, payload = await self._route(method, target, body)
+                    status, payload = await self._route(method, target, body, trace)
                     response = self._encode_response(
                         status, payload, keep_alive=keep_alive
                     )
                     self.requests_served += 1
+                    code = status.value
                 except HttpError as exc:
                     response = self._error_response(exc, keep_alive=keep_alive)
+                    code = exc.status.value
+                    if trace is not None:
+                        trace.annotate(error=exc.code)
                 finally:
                     self._inflight -= 1
                     if self._inflight == 0:
                         self._idle.set()
-                writer.write(response)
-                await writer.drain()
+                if trace is not None:
+                    with trace.span("respond"):
+                        writer.write(response)
+                        await writer.drain()
+                else:
+                    writer.write(response)
+                    await writer.drain()
+                if self.metrics is not None:
+                    route = path if path in _KNOWN_ROUTES else "other"
+                    fast = self._http_children.get((route, code))
+                    if fast is None:
+                        fast = (
+                            self._m_http_requests.labels(route, str(code)),
+                            self._m_http_seconds.labels(route),
+                        )
+                        self._http_children[(route, code)] = fast
+                    fast[0].inc()
+                    fast[1].observe(time.perf_counter() - started)
+                if trace is not None:
+                    self._access_log.info(
+                        trace.record(method=method, path=path, status=code)
+                    )
                 if not keep_alive:
                     return
         except (ConnectionError, asyncio.CancelledError):

@@ -68,9 +68,30 @@ class RegistryWatcher:
         self._task: asyncio.Task | None = None
         #: versions this watcher swapped in (observability / tests)
         self.swapped_versions: list[int] = []
+        #: freshness probes completed (observability)
+        self.polls = 0
+
+    def bind_metrics(self, registry) -> None:
+        """Expose this watcher on a :class:`~repro.obs.MetricsRegistry`.
+
+        Callback families over the counters the watcher already keeps:
+        probes completed, swaps performed, and the active generation /
+        version gauges live on the server's own families.
+        """
+        registry.register_callback(
+            "repro_watcher_polls_total", "counter",
+            "Registry freshness probes completed by the hot-swap watcher",
+            lambda: self.polls,
+        )
+        registry.register_callback(
+            "repro_watcher_swaps_total", "counter",
+            "Hot swaps performed by the registry watcher",
+            lambda: len(self.swapped_versions),
+        )
 
     async def check_once(self) -> bool:
         """One freshness probe; swaps and returns True when newer."""
+        self.polls += 1
         latest = self.registry.latest_version(
             self.spec, fingerprint=self.fingerprint
         )

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import asyncio
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
@@ -54,6 +55,18 @@ def _attached_model(path: str):
 def score_rows_attached(path: str, rows: np.ndarray) -> np.ndarray:
     """One engine batch, scored in the worker over the mmap-attached model."""
     return np.asarray(_attached_model(path).score_batch(rows))
+
+
+def score_rows_traced(path: str, rows: np.ndarray) -> tuple[np.ndarray, int, float]:
+    """Like :func:`score_rows_attached`, plus who scored it and for how long.
+
+    Returns ``(scores, pid, seconds)`` over the existing result pipe —
+    the telemetry tier aggregates these into per-worker request/row/
+    busy-seconds families without adding any new IPC channel.
+    """
+    started = time.perf_counter()
+    scores = np.asarray(_attached_model(path).score_batch(rows))
+    return scores, os.getpid(), time.perf_counter() - started
 
 
 def attachment_report(path: str) -> dict:
@@ -111,6 +124,14 @@ class ScoringWorkerPool:
         """Score one batch on any free worker, attached to ``path``."""
         return await asyncio.get_running_loop().run_in_executor(
             self._pool, score_rows_attached, path, rows
+        )
+
+    async def score_traced(
+        self, path: str, rows: np.ndarray
+    ) -> tuple[np.ndarray, int, float]:
+        """Score one batch and report ``(scores, worker_pid, seconds)``."""
+        return await asyncio.get_running_loop().run_in_executor(
+            self._pool, score_rows_traced, path, rows
         )
 
     def attachment_reports(self, path: str, probes: int | None = None) -> list[dict]:
